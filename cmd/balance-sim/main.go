@@ -1,0 +1,204 @@
+// Command balance-sim validates the Section 6 analysis (experiments E6, E7,
+// A2): gap and potential trajectories of the sequential two-choice process,
+// its (1+β) and corrupted relaxations, and the adversarially scheduled
+// concurrent process, including the Lemma 6.6 pigeonhole check.
+//
+// Usage:
+//
+//	balance-sim                  # sequential process comparison (E6)
+//	balance-sim -adversarial     # concurrent process under all adversaries (E6/E7)
+//	balance-sim -lemma66         # Lemma 6.6 window audit across adversaries (E7)
+//	balance-sim -ratio           # m/n ratio sweep (A2)
+//	balance-sim -graph           # graphical allocation (PTW framework)
+//	balance-sim -queue           # adversarial MultiQueue process (Theorem 7.1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/balance"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func main() {
+	adversarial := flag.Bool("adversarial", false, "run the concurrent adversarial process")
+	lemma66 := flag.Bool("lemma66", false, "audit Lemma 6.6 across adversaries")
+	ratio := flag.Bool("ratio", false, "sweep the m/n ratio (ablation A2)")
+	graph := flag.Bool("graph", false, "run graphical allocation on standard graphs")
+	queue := flag.Bool("queue", false, "run the adversarial MultiQueue process (Theorem 7.1)")
+	m := flag.Int("m", 64, "bins")
+	n := flag.Int("n", 8, "threads (adversarial modes)")
+	steps := flag.Int64("steps", 500_000, "insertions")
+	alpha := flag.Float64("alpha", 0.25, "potential parameter α")
+	seed := flag.Uint64("seed", 3, "PRNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
+	flag.Parse()
+
+	switch {
+	case *lemma66:
+		runLemma66(*n, *m, *steps, *seed, *csv)
+	case *adversarial:
+		runAdversarial(*n, *m, *steps, *alpha, *seed, *csv)
+	case *ratio:
+		runRatio(*n, *steps, *seed, *csv)
+	case *graph:
+		runGraph(*steps, *seed, *csv)
+	case *queue:
+		runQueue(*n, *m, *steps, *seed, *csv)
+	default:
+		runSequential(*m, *steps, *alpha, *seed, *csv)
+	}
+}
+
+func runGraph(steps int64, seed uint64, csv bool) {
+	const dim = 6 // m = 64
+	m := 1 << dim
+	tb := harness.NewTable(
+		fmt.Sprintf("Graphical allocation (PTW framework), m=%d, %d steps", m, steps),
+		"graph", "edges", "final-gap", "max-gap")
+	graphs := []struct {
+		name string
+		g    *balance.Graph
+	}{
+		{"cycle", balance.CycleGraph(m)},
+		{"hypercube", balance.HypercubeGraph(dim)},
+		{"random-4-regular", balance.RandomRegularish(m, 4, seed)},
+		{"complete+loops", balance.CompleteGraph(m)},
+	}
+	for _, gr := range graphs {
+		res := balance.Run(balance.RunConfig{
+			M: m, Steps: steps, Seed: seed, Process: balance.GraphChoice{G: gr.g},
+			SampleEvery: steps / 50,
+		})
+		tb.Add(gr.name, gr.g.NumEdges(), res.Final.Gap(), res.MaxGap())
+	}
+	emit(tb, csv)
+}
+
+func runQueue(n, m int, steps int64, seed uint64, csv bool) {
+	tb := harness.NewTable(
+		fmt.Sprintf("Adversarial MultiQueue process (n=%d, m=%d): dequeue ranks", n, m),
+		"adversary", "rank-mean", "rank-p99", "rank-p99.9", "wrong-queue", "O(m)", "O(m log m)")
+	for _, adv := range []sched.Adversary{
+		&sched.RoundRobin{}, sched.NewUniform(seed + 1),
+		&sched.BlockStampede{}, &sched.SlowPoke{Delay: 8 * n * 4},
+	} {
+		res := sched.RunQueue(sched.QueueSimConfig{
+			N: n, M: m, Ops: steps, Seed: seed, Adversary: adv, Buffer: 64 * m,
+		})
+		tb.Add(adv.Name(), res.Ranks.Mean(), res.Ranks.Quantile(0.99),
+			res.Ranks.Quantile(0.999), res.WrongQueue, m, int(float64(m)*log2f(m)))
+	}
+	emit(tb, csv)
+}
+
+func runSequential(m int, steps int64, alpha float64, seed uint64, csv bool) {
+	tb := harness.NewTable(
+		fmt.Sprintf("Sequential processes: gap and Γ after %d steps, m=%d", steps, m),
+		"process", "final-gap", "max-gap", "max-gamma", "gamma/m")
+	procs := []balance.Process{
+		balance.DChoice{D: 1},
+		balance.DChoice{D: 2},
+		balance.DChoice{D: 3},
+		balance.OneBeta{Beta: 0.5},
+		balance.Corrupted{WrongProb: 0.1, Rho: 1},
+		&balance.Stale{Refresh: m},
+	}
+	for _, p := range procs {
+		res := balance.Run(balance.RunConfig{
+			M: m, Steps: steps, Seed: seed, Process: p, Alpha: alpha,
+			SampleEvery: steps / 50,
+		})
+		tb.Add(p.Name(), res.Final.Gap(), res.MaxGap(), res.MaxGamma(),
+			res.MaxGamma()/float64(m))
+	}
+	// Weighted (Theorem 7.1) variant.
+	res := balance.Run(balance.RunConfig{
+		M: m, Steps: steps, Seed: seed, Process: balance.DChoice{D: 2},
+		Weight: func(r *rng.Xoshiro256) float64 { return r.Exp() },
+		Alpha:  alpha, SampleEvery: steps / 50,
+	})
+	tb.Add("greedy[d=2]+exp-weights", res.Final.Gap(), res.MaxGap(),
+		res.MaxGamma(), res.MaxGamma()/float64(m))
+	emit(tb, csv)
+}
+
+func runAdversarial(n, m int, steps int64, alpha float64, seed uint64, csv bool) {
+	tb := harness.NewTable(
+		fmt.Sprintf("Concurrent two-choice under oblivious adversaries (n=%d, m=%d)", n, m),
+		"adversary", "final-gap", "wrong-choices", "bad-ops", "max-gamma/m", "lemma6.6")
+	for _, adv := range []sched.Adversary{
+		&sched.RoundRobin{}, sched.NewUniform(seed + 1),
+		&sched.BlockStampede{}, &sched.SlowPoke{Delay: 8 * n * 4},
+	} {
+		res := sched.Run(sched.Config{
+			N: n, M: m, Ops: steps, Seed: seed, Adversary: adv,
+			Alpha: alpha, C: 4, SampleEvery: steps / 50,
+		})
+		maxGamma := 0.0
+		for _, s := range res.Samples {
+			if s.Gamma > maxGamma {
+				maxGamma = s.Gamma
+			}
+		}
+		tb.Add(adv.Name(), res.Final.Gap(), res.WrongChoices, res.BadOps,
+			maxGamma/float64(m), res.LemmaHolds)
+	}
+	emit(tb, csv)
+}
+
+func runLemma66(n, m int, steps int64, seed uint64, csv bool) {
+	tb := harness.NewTable(
+		fmt.Sprintf("Lemma 6.6: bad ops per Cn-window (n=%d, C=4, window=%d)", n, 4*n),
+		"adversary", "bad-ops-total", "max-in-window", "bound(n)", "holds")
+	for _, adv := range []sched.Adversary{
+		&sched.RoundRobin{}, sched.NewUniform(seed + 1),
+		&sched.BlockStampede{}, &sched.SlowPoke{Delay: 4*n*4 + 50},
+	} {
+		res := sched.Run(sched.Config{
+			N: n, M: m, Ops: steps, Seed: seed, Adversary: adv, C: 4,
+		})
+		tb.Add(adv.Name(), res.BadOps, res.MaxWindowBad, n, res.LemmaHolds)
+	}
+	emit(tb, csv)
+}
+
+func runRatio(n int, steps int64, seed uint64, csv bool) {
+	tb := harness.NewTable(
+		fmt.Sprintf("Ablation A2: gap vs m/n ratio under stampede schedule (n=%d)", n),
+		"m/n", "m", "final-gap", "gap/log2(m)")
+	for _, ratio := range []float64{0.25, 0.5, 1, 2, 4, 16, 64} {
+		m := int(float64(n) * ratio)
+		if m < 2 {
+			m = 2
+		}
+		res := sched.Run(sched.Config{
+			N: n, M: m, Ops: steps, Seed: seed, Adversary: &sched.BlockStampede{}, C: 4,
+		})
+		tb.Add(ratio, m, res.Final.Gap(), res.Final.Gap()/log2f(m))
+	}
+	emit(tb, csv)
+}
+
+func log2f(m int) float64 {
+	l := 0.0
+	for v := m; v > 1; v >>= 1 {
+		l++
+	}
+	if l == 0 {
+		return 1
+	}
+	return l
+}
+
+func emit(tb *harness.Table, csv bool) {
+	if csv {
+		tb.WriteCSV(os.Stdout)
+	} else {
+		tb.WriteMarkdown(os.Stdout)
+	}
+}

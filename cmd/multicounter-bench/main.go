@@ -1,0 +1,84 @@
+// Command multicounter-bench regenerates Figure 1(a): throughput of the
+// MultiCounter under contention, as a function of the number of threads, for
+// several ratios C = m/n between counters and threads, against the exact
+// fetch-and-increment baseline.
+//
+// Usage:
+//
+//	multicounter-bench [-dur 500ms] [-maxthreads N] [-ratios 1,2,4,8] [-csv]
+//
+// Output is one row per (threads, variant): millions of increments per
+// second during the measurement window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func main() {
+	dur := flag.Duration("dur", 500*time.Millisecond, "measurement window per point")
+	maxThreads := flag.Int("maxthreads", 8, "largest thread count in the sweep")
+	ratioList := flag.String("ratios", "1,2,4,8", "comma-separated C = counters/threads ratios")
+	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
+	seed := flag.Uint64("seed", 42, "PRNG seed")
+	flag.Parse()
+
+	var ratios []int
+	for _, s := range strings.Split(*ratioList, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || r <= 0 {
+			fmt.Fprintf(os.Stderr, "bad ratio %q\n", s)
+			os.Exit(2)
+		}
+		ratios = append(ratios, r)
+	}
+
+	tb := harness.NewTable("Figure 1(a): MultiCounter scalability",
+		"threads", "variant", "mops", "gap")
+	for _, threads := range harness.ThreadCounts(*maxThreads) {
+		// Exact FAA baseline.
+		exact := counters.NewExact()
+		ops, elapsed := harness.RunTimed(threads, *dur, func(id int, stop *atomic.Bool) int64 {
+			var n int64
+			for !stop.Load() {
+				exact.Inc()
+				n++
+			}
+			return n
+		})
+		tb.Add(threads, "exact-faa", stats.Throughput(ops, elapsed.Seconds()), 0)
+
+		for _, c := range ratios {
+			m := c * threads
+			mc := core.NewMultiCounter(m)
+			streams := rng.Streams(*seed, threads)
+			ops, elapsed := harness.RunTimed(threads, *dur, func(id int, stop *atomic.Bool) int64 {
+				var n int64
+				for !stop.Load() {
+					mc.Increment(streams[id])
+					n++
+				}
+				return n
+			})
+			tb.Add(threads, fmt.Sprintf("multicounter[C=%d]", c),
+				stats.Throughput(ops, elapsed.Seconds()), mc.Gap())
+		}
+	}
+	if *csv {
+		tb.WriteCSV(os.Stdout)
+	} else {
+		tb.WriteMarkdown(os.Stdout)
+	}
+}

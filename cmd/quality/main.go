@@ -1,0 +1,68 @@
+// Command quality regenerates Figure 1(b): the quality of the MultiCounter
+// in a single-threaded execution with 64 counters — the value returned by
+// Read over time against the true increment count, and the maximum gap
+// between bins over time.
+//
+// The paper measures quality single-threaded because "it is not clear how to
+// order the concurrent read steps"; the dlcheck tool provides the concurrent
+// counterpart via explicit linearization stamps.
+//
+// Usage:
+//
+//	quality [-m 64] [-incs 1000000] [-samples 50] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/rng"
+)
+
+func main() {
+	m := flag.Int("m", 64, "number of counters")
+	incs := flag.Int64("incs", 1_000_000, "total increments")
+	samples := flag.Int64("samples", 50, "number of sample points")
+	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
+	seed := flag.Uint64("seed", 7, "PRNG seed")
+	flag.Parse()
+
+	mc := core.NewMultiCounter(*m)
+	r := rng.NewXoshiro256(*seed)
+	every := *incs / *samples
+	if every == 0 {
+		every = 1
+	}
+
+	tb := harness.NewTable(
+		fmt.Sprintf("Figure 1(b): MultiCounter quality (single thread, m=%d)", *m),
+		"increments", "read-value", "abs-error", "max-gap", "envelope(m log m)")
+	envelope := float64(*m) * log2f(*m)
+	for t := int64(1); t <= *incs; t++ {
+		mc.Increment(r)
+		if t%every == 0 {
+			v := mc.Read(r)
+			absErr := int64(v) - t
+			if absErr < 0 {
+				absErr = -absErr
+			}
+			tb.Add(t, v, absErr, mc.Gap(), envelope)
+		}
+	}
+	if *csv {
+		tb.WriteCSV(os.Stdout)
+	} else {
+		tb.WriteMarkdown(os.Stdout)
+	}
+}
+
+func log2f(m int) float64 {
+	l := 0.0
+	for v := m; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,87 @@
+// Package dlz is the public API of this repository: distributionally
+// linearizable relaxed concurrent data structures from "Distributionally
+// Linearizable Data Structures" (Alistarh, Brown, Kopinsky, Li, Nadiradze,
+// SPAA 2018).
+//
+// Three structures are exported:
+//
+//   - MultiCounter — a scalable approximate counter (Algorithm 1). Reads are
+//     within O(m·log m) of the true increment count, in expectation and
+//     w.h.p., provided the shard count m is a large constant multiple of the
+//     thread count (Theorem 6.1).
+//   - MultiQueue — a relaxed FIFO/priority queue (Algorithm 2). Dequeues
+//     return an element of rank O(m) in expectation and O(m·log m) w.h.p.
+//     (Theorem 7.1).
+//   - Timestamps — a relaxed timestamp oracle built on the MultiCounter,
+//     the drop-in replacement for fetch-and-add global clocks evaluated on
+//     TL2 in the paper's Section 8 (see repro/internal/stm for the STM).
+//
+// # Usage
+//
+// All structures are driven through per-goroutine handles carrying private
+// PRNG state; create one handle per worker with a distinct seed:
+//
+//	mc := dlz.NewMultiCounter(64 * runtime.GOMAXPROCS(0))
+//	go func(id int) {
+//		h := mc.NewHandle(uint64(id) + 1)
+//		h.Increment()
+//		approx := h.Read()
+//		_ = approx
+//	}(0)
+//
+// The implementation lives in repro/internal/core; this package pins the
+// stable names a downstream user imports.
+package dlz
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpq"
+)
+
+// MultiCounter is the relaxed approximate counter of Algorithm 1.
+type MultiCounter = core.MultiCounter
+
+// Handle is a per-goroutine view of a MultiCounter.
+type Handle = core.Handle
+
+// MultiQueue is the relaxed queue of Algorithm 2.
+type MultiQueue = core.MultiQueue
+
+// MQHandle is a per-goroutine view of a MultiQueue.
+type MQHandle = core.MQHandle
+
+// MultiQueueConfig configures NewMultiQueue.
+type MultiQueueConfig = core.MultiQueueConfig
+
+// Timestamps is the MultiCounter-backed relaxed timestamp oracle.
+type Timestamps = core.Timestamps
+
+// TSHandle is a per-goroutine view of a Timestamps oracle.
+type TSHandle = core.TSHandle
+
+// Queue backings for MultiQueueConfig.Backing (ablation A4).
+const (
+	// BackingBinary stores each internal queue in a binary heap (default).
+	BackingBinary = cpq.BackingBinary
+	// BackingPairing stores each internal queue in a pairing heap.
+	BackingPairing = cpq.BackingPairing
+	// BackingSkiplist stores each internal queue in a skiplist.
+	BackingSkiplist = cpq.BackingSkiplist
+)
+
+// NewMultiCounter returns a MultiCounter over m atomic counters. For the
+// paper's guarantees m should be a large constant multiple of the number of
+// concurrent threads; in practice m ≈ 4–8× threads already balances well
+// (Figure 1a).
+func NewMultiCounter(m int, opts ...core.MultiCounterOption) *MultiCounter {
+	return core.NewMultiCounter(m, opts...)
+}
+
+// WithChoices sets the number of random choices d per increment (default 2).
+var WithChoices = core.WithChoices
+
+// NewMultiQueue returns a MultiQueue with the given configuration.
+func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue { return core.NewMultiQueue(cfg) }
+
+// NewTimestamps returns a relaxed timestamp oracle over m shards.
+func NewTimestamps(m int) *Timestamps { return core.NewTimestamps(m) }

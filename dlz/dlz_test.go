@@ -1,0 +1,87 @@
+package dlz_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/dlz"
+)
+
+// The dlz tests exercise the public API exactly the way the README tells a
+// downstream user to use it.
+
+func TestMultiCounterPublicAPI(t *testing.T) {
+	mc := dlz.NewMultiCounter(64)
+	var wg sync.WaitGroup
+	const workers, per = 4, 10_000
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			h := mc.NewHandle(uint64(id) + 1)
+			for i := 0; i < per; i++ {
+				h.Increment()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if mc.Exact() != workers*per {
+		t.Fatalf("Exact = %d", mc.Exact())
+	}
+	h := mc.NewHandle(999)
+	v := h.Read()
+	diff := int64(v) - int64(workers*per)
+	if diff < 0 {
+		diff = -diff
+	}
+	if uint64(diff) > uint64(64)*mc.Gap()+64 {
+		t.Fatalf("read %d deviates beyond m*gap from %d", v, workers*per)
+	}
+}
+
+func TestMultiCounterChoicesOption(t *testing.T) {
+	mc := dlz.NewMultiCounter(16, dlz.WithChoices(4))
+	h := mc.NewHandle(1)
+	for i := 0; i < 1000; i++ {
+		h.Increment()
+	}
+	if mc.Exact() != 1000 {
+		t.Fatal("increments lost")
+	}
+}
+
+func TestMultiQueuePublicAPI(t *testing.T) {
+	for _, backing := range []dlz.MultiQueueConfig{
+		{Queues: 8, Backing: dlz.BackingBinary},
+		{Queues: 8, Backing: dlz.BackingPairing},
+		{Queues: 8, Backing: dlz.BackingSkiplist},
+	} {
+		q := dlz.NewMultiQueue(backing)
+		h := q.NewHandle(7)
+		for v := uint64(0); v < 300; v++ {
+			h.Enqueue(v)
+		}
+		drained := 0
+		for {
+			if _, ok := h.Dequeue(); !ok {
+				break
+			}
+			drained++
+		}
+		if drained != 300 {
+			t.Fatalf("drained %d", drained)
+		}
+	}
+}
+
+func TestTimestampsPublicAPI(t *testing.T) {
+	ts := dlz.NewTimestamps(32)
+	h := ts.NewHandle(3)
+	before := h.Sample()
+	for i := 0; i < 3200; i++ {
+		h.Tick()
+	}
+	if h.Sample() <= before {
+		t.Fatal("oracle did not advance")
+	}
+}

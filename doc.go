@@ -1,0 +1,11 @@
+// Package repro reproduces "Distributionally Linearizable Data Structures"
+// (Alistarh, Brown, Kopinsky, Li, Nadiradze, SPAA 2018): the MultiCounter
+// and MultiQueue relaxed concurrent data structures, the distributional
+// linearizability framework, the concurrent two-choice load-balancing
+// analysis apparatus, and the TL2 software transactional memory application.
+//
+// The public API lives in repro/dlz. Substrates live under repro/internal
+// (one package per subsystem; see DESIGN.md for the inventory). Benchmarks
+// regenerating every figure of the paper's evaluation are in bench_test.go
+// and the cmd/ tools; EXPERIMENTS.md records paper-vs-measured results.
+package repro

@@ -1,0 +1,196 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomReachableState evolves a two-choice process for a random number of
+// steps so potential tests run on realistic (reachable) weight vectors.
+func randomReachableState(m int, steps int64, seed uint64) *State {
+	res := Run(RunConfig{M: m, Steps: steps, Seed: seed, Process: DChoice{D: 2}})
+	return res.Final
+}
+
+func TestProbVectorsWellFormed(t *testing.T) {
+	for _, m := range []int{2, 7, 64} {
+		for name, v := range map[string][]float64{
+			"worst": WorstCaseProbs(m), "two-choice": TwoChoiceProbs(m),
+		} {
+			var sum float64
+			for _, p := range v {
+				if p < 0 {
+					t.Fatalf("%s m=%d: negative prob", name, m)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s m=%d: sum %v", name, m, sum)
+			}
+		}
+	}
+}
+
+func TestTwoChoiceProbsMatchOneBetaAtBetaOne(t *testing.T) {
+	m := 16
+	tc := TwoChoiceProbs(m)
+	ob := OneBetaProbs(m, 1)
+	for i := range tc {
+		if math.Abs(tc[i]-ob[i]) > 1e-12 {
+			t.Fatalf("index %d: %v vs %v", i, tc[i], ob[i])
+		}
+	}
+}
+
+// TestExpectedGammaExactAgainstBruteForce cross-checks the closed-form step
+// evaluator against direct recomputation of Γ for every possible
+// destination bin.
+func TestExpectedGammaExactAgainstBruteForce(t *testing.T) {
+	m, alpha := 8, 0.3
+	s := randomReachableState(m, 1000, 41)
+	probs := TwoChoiceProbs(m)
+
+	// Brute force: for each sorted bin k, add the ball, recompute Γ fully.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	// replicate the evaluator's ordering (stable ascending by weight)
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && s.Weight(order[j]) < s.Weight(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var brute float64
+	for k, p := range probs {
+		i := order[k]
+		cp := NewState(m)
+		for b := 0; b < m; b++ {
+			cp.Add(b, s.Weight(b))
+		}
+		cp.Add(i, 1)
+		_, _, gamma := cp.Potential(alpha)
+		brute += p * gamma
+	}
+	got := ExpectedGammaAfterStep(s, probs, alpha)
+	if math.Abs(got-brute) > 1e-9*brute {
+		t.Fatalf("closed form %v vs brute force %v", got, brute)
+	}
+}
+
+// TestTheorem31Majorization is the numeric form of PTW Theorem 3.1 as used
+// by Lemma 6.4: on every reachable state, the good(γ)-step vector (which
+// majorizes the (1+2γ)-vector) yields expected potential no larger.
+func TestTheorem31Majorization(t *testing.T) {
+	m, alpha := 32, 0.25
+	for seed := uint64(0); seed < 20; seed++ {
+		s := randomReachableState(m, int64(500+seed*700), 100+seed)
+		for _, gamma := range []float64{0.05, 0.15, 0.35} {
+			p := GoodStepProbs(m, 0.5+gamma)
+			q := OneBetaProbs(m, 2*gamma)
+			if !StepDominates(s, p, q, alpha, 1e-9) {
+				t.Fatalf("seed %d γ=%v: good step exceeded (1+β) step", seed, gamma)
+			}
+		}
+	}
+}
+
+// TestTwoChoiceBeatsWorstCase: the exact two-choice vector always yields
+// expected potential no larger than the adversarial worst-case vector.
+func TestTwoChoiceBeatsWorstCase(t *testing.T) {
+	m, alpha := 32, 0.25
+	for seed := uint64(0); seed < 20; seed++ {
+		s := randomReachableState(m, int64(1000+seed*300), 200+seed)
+		if !StepDominates(s, TwoChoiceProbs(m), WorstCaseProbs(m), alpha, 1e-9) {
+			t.Fatalf("seed %d: two-choice exceeded worst-case", seed)
+		}
+	}
+}
+
+// TestLemma65Bound verifies the Lemma 6.5 inequality numerically: for a bad
+// step (worst-case vector), E[Γ(t+1)|y(t)] ≤ (1 + (2/m)(α + S·α²))·Γ(t),
+// with S = 1 valid for α ≤ 1/2 (the paper's constant-setting).
+func TestLemma65Bound(t *testing.T) {
+	m, alpha := 32, 0.25
+	probs := WorstCaseProbs(m)
+	for seed := uint64(0); seed < 30; seed++ {
+		s := randomReachableState(m, int64(200+seed*500), 300+seed)
+		_, _, gamma := s.Potential(alpha)
+		bound := (1 + 2/float64(m)*(alpha+alpha*alpha)) * gamma
+		if got := ExpectedGammaAfterStep(s, probs, alpha); got > bound*(1+1e-9) {
+			t.Fatalf("seed %d: E[Γ'] = %v exceeds Lemma 6.5 bound %v (Γ=%v)",
+				seed, got, bound, gamma)
+		}
+	}
+}
+
+// TestGoodStepDecreasesLargeGamma mirrors Lemma 6.4's drift direction: on a
+// state with large imbalance (hence large Γ), an exact two-choice step
+// strictly decreases the expected potential.
+func TestGoodStepDecreasesLargeGamma(t *testing.T) {
+	m, alpha := 16, 0.25
+	// Build a deliberately skewed state: one bin far above the rest.
+	s := NewState(m)
+	for i := 0; i < m; i++ {
+		s.Add(i, float64(i%4))
+	}
+	s.Add(0, 40)
+	_, _, gamma := s.Potential(alpha)
+	if got := ExpectedGammaAfterStep(s, TwoChoiceProbs(m), alpha); got >= gamma {
+		t.Fatalf("two-choice step did not decrease Γ on skewed state: %v >= %v", got, gamma)
+	}
+}
+
+// TestWorstCaseIncreasesBounded: even on skewed states the bad step's
+// relative increase stays within the Lemma 6.5 multiplicative envelope.
+func TestWorstCaseIncreasesBounded(t *testing.T) {
+	m, alpha := 16, 0.25
+	s := NewState(m)
+	s.Add(3, 20)
+	_, _, gamma := s.Potential(alpha)
+	got := ExpectedGammaAfterStep(s, WorstCaseProbs(m), alpha)
+	bound := (1 + 2/float64(m)*(alpha+alpha*alpha)) * gamma
+	if got > bound {
+		t.Fatalf("bad step increase %v above envelope %v", got, bound)
+	}
+}
+
+func TestExpectedGammaPanics(t *testing.T) {
+	s := NewState(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ExpectedGammaAfterStep(s, make([]float64, 3), 0.2)
+}
+
+// TestStepEvaluatorUsedByProcesses: simulate many two-choice steps and check
+// the empirical average next-Γ approaches the exact expectation (Monte Carlo
+// agreement, tying the evaluator to the actual process dynamics).
+func TestStepEvaluatorMonteCarloAgreement(t *testing.T) {
+	m, alpha := 8, 0.3
+	s := randomReachableState(m, 2000, 55)
+	exact := ExpectedGammaAfterStep(s, TwoChoiceProbs(m), alpha)
+	r := rng.NewXoshiro256(56)
+	const trials = 200_000
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		i, j := r.Intn(m), r.Intn(m)
+		dest := s.LessLoaded(i, j)
+		// Recompute Γ with the ball placed, without mutating s.
+		cp := NewState(m)
+		for b := 0; b < m; b++ {
+			cp.Add(b, s.Weight(b))
+		}
+		cp.Add(dest, 1)
+		_, _, g := cp.Potential(alpha)
+		sum += g
+	}
+	mc := sum / trials
+	if math.Abs(mc-exact) > 0.01*exact {
+		t.Fatalf("Monte Carlo %v vs exact %v", mc, exact)
+	}
+}

@@ -1,0 +1,170 @@
+package balance
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Process selects the bin that receives the next ball.
+type Process interface {
+	// Pick returns the destination bin for the next insertion.
+	Pick(s *State, r *rng.Xoshiro256) int
+	// Name labels the process in experiment output.
+	Name() string
+}
+
+// DChoice is the greedy d-choice process: sample d bins uniformly with
+// replacement, insert into the least loaded. d = 1 is the divergent
+// single-choice process; d = 2 is the classic two-choice process underlying
+// the MultiCounter.
+type DChoice struct {
+	D int
+}
+
+// Pick implements Process.
+func (p DChoice) Pick(s *State, r *rng.Xoshiro256) int {
+	if p.D < 1 {
+		panic("balance: DChoice needs D >= 1")
+	}
+	best := r.Intn(s.M())
+	for k := 1; k < p.D; k++ {
+		c := r.Intn(s.M())
+		if s.w[c] < s.w[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Name implements Process.
+func (p DChoice) Name() string { return fmt.Sprintf("greedy[d=%d]", p.D) }
+
+// OneBeta is the (1+β)-choice process of Peres, Talwar and Wieder: with
+// probability Beta insert two-choice, otherwise uniformly. Lemma 6.4 shows a
+// good(γ) concurrent step majorizes this process with β = 2γ, which is why it
+// appears throughout the tests as the comparison envelope.
+type OneBeta struct {
+	Beta float64
+}
+
+// Pick implements Process.
+func (p OneBeta) Pick(s *State, r *rng.Xoshiro256) int {
+	if r.Bernoulli(p.Beta) {
+		return s.LessLoaded(r.Intn(s.M()), r.Intn(s.M()))
+	}
+	return r.Intn(s.M())
+}
+
+// Name implements Process.
+func (p OneBeta) Name() string { return fmt.Sprintf("(1+beta)[beta=%.3f]", p.Beta) }
+
+// Corrupted is the adversarially corrupted two-choice process from the
+// paper's techniques discussion: with probability WrongProb the step is
+// "corrupted" and deterministically inserts into the MORE loaded of its two
+// choices (the worst case Lemma 6.5 charges for); otherwise it behaves as a
+// good step that inserts into the less loaded bin with probability Rho
+// (Rho = 1 reproduces the exact two-choice process; Lemma 6.3's good steps
+// have Rho >= 1/2 + γ).
+type Corrupted struct {
+	WrongProb float64
+	Rho       float64
+}
+
+// Pick implements Process.
+func (p Corrupted) Pick(s *State, r *rng.Xoshiro256) int {
+	i, j := r.Intn(s.M()), r.Intn(s.M())
+	if r.Bernoulli(p.WrongProb) {
+		return s.MoreLoaded(i, j)
+	}
+	if r.Bernoulli(p.Rho) {
+		return s.LessLoaded(i, j)
+	}
+	return s.MoreLoaded(i, j)
+}
+
+// Name implements Process.
+func (p Corrupted) Name() string {
+	return fmt.Sprintf("corrupted[wrong=%.2f,rho=%.2f]", p.WrongProb, p.Rho)
+}
+
+// Stale is the bulletin-board model (Mitzenmacher; Berenbrink et al.):
+// two-choice decisions are made against a snapshot of the weights refreshed
+// only every Refresh insertions, modeling reads that are up to Refresh steps
+// out of date. Refresh = 1 degenerates to the exact two-choice process.
+type Stale struct {
+	Refresh int
+
+	snapshot []float64
+	since    int
+}
+
+// Pick implements Process.
+func (p *Stale) Pick(s *State, r *rng.Xoshiro256) int {
+	if p.Refresh < 1 {
+		panic("balance: Stale needs Refresh >= 1")
+	}
+	if p.snapshot == nil || len(p.snapshot) != s.M() {
+		p.snapshot = make([]float64, s.M())
+		copy(p.snapshot, s.w)
+		p.since = 0
+	}
+	if p.since >= p.Refresh {
+		copy(p.snapshot, s.w)
+		p.since = 0
+	}
+	p.since++
+	i, j := r.Intn(s.M()), r.Intn(s.M())
+	if p.snapshot[j] < p.snapshot[i] {
+		return j
+	}
+	return i
+}
+
+// Name implements Process.
+func (p *Stale) Name() string { return fmt.Sprintf("stale[T=%d]", p.Refresh) }
+
+// GoodStepProbs returns the probability vector p of a good(γ) step from the
+// proof of Lemma 6.4: inserting into the i-th least loaded bin (1-based i)
+// with probability
+//
+//	p_i = ρ·2(m−i)/m² + 1/m² + (1−ρ)·2(i−1)/m²
+//
+// where ρ ≥ 1/2 + γ is the probability the operation adds to the lesser
+// loaded of its two choices.
+func GoodStepProbs(m int, rho float64) []float64 {
+	p := make([]float64, m)
+	mm := float64(m) * float64(m)
+	for i := 1; i <= m; i++ {
+		p[i-1] = rho*2*float64(m-i)/mm + 1/mm + (1-rho)*2*float64(i-1)/mm
+	}
+	return p
+}
+
+// OneBetaProbs returns the probability vector q of the (1+β)-choice process:
+//
+//	q_i = (1−β)/m + β·(2(m−i)+1)/m²
+func OneBetaProbs(m int, beta float64) []float64 {
+	q := make([]float64, m)
+	mm := float64(m) * float64(m)
+	for i := 1; i <= m; i++ {
+		q[i-1] = (1-beta)/float64(m) + beta*(2*float64(m-i)+1)/mm
+	}
+	return q
+}
+
+// Majorizes reports whether p majorizes q: every prefix sum of p is at least
+// the corresponding prefix sum of q (both vectors ordered from least to most
+// loaded bin, as in the paper). A small epsilon absorbs float rounding.
+func Majorizes(p, q []float64) bool {
+	const eps = 1e-12
+	var sp, sq float64
+	for k := range p {
+		sp += p[k]
+		sq += q[k]
+		if sp+eps < sq {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package balance
+
+import "repro/internal/rng"
+
+// WeightFn draws the weight of the next ball. Nil means unit weights.
+// Theorem 7.1 uses Exponential(1) weights via (*rng.Xoshiro256).Exp.
+type WeightFn func(r *rng.Xoshiro256) float64
+
+// SamplePoint records the balance statistics at one sampled step.
+type SamplePoint struct {
+	Step         int64   // number of insertions so far
+	Gap          float64 // max − min bin weight
+	MaxAboveMean float64 // max − µ
+	MeanAboveMin float64 // µ − min
+	Gamma        float64 // Γ(t) at the configured α
+}
+
+// RunConfig describes a sequential process execution.
+type RunConfig struct {
+	M           int     // number of bins
+	Steps       int64   // number of insertions
+	Seed        uint64  // PRNG seed
+	Process     Process // insertion policy
+	Weight      WeightFn
+	Alpha       float64 // potential parameter α (0 disables Γ sampling)
+	SampleEvery int64   // sampling period in steps (0: only final state)
+}
+
+// Result carries the trajectory and final state of a run.
+type Result struct {
+	Samples []SamplePoint
+	Final   *State
+}
+
+// Run executes the process for cfg.Steps insertions and returns sampled
+// balance statistics. Deterministic for a fixed config.
+func Run(cfg RunConfig) Result {
+	st := NewState(cfg.M)
+	r := rng.NewXoshiro256(cfg.Seed)
+	var samples []SamplePoint
+	sample := func(step int64) {
+		p := SamplePoint{Step: step, Gap: st.Gap()}
+		min, max := st.MinMax()
+		mu := st.Mean()
+		p.MaxAboveMean = max - mu
+		p.MeanAboveMin = mu - min
+		if cfg.Alpha > 0 {
+			_, _, p.Gamma = st.Potential(cfg.Alpha)
+		}
+		samples = append(samples, p)
+	}
+	for t := int64(1); t <= cfg.Steps; t++ {
+		i := cfg.Process.Pick(st, r)
+		w := 1.0
+		if cfg.Weight != nil {
+			w = cfg.Weight(r)
+		}
+		st.Add(i, w)
+		if cfg.SampleEvery > 0 && t%cfg.SampleEvery == 0 {
+			sample(t)
+		}
+	}
+	sample(cfg.Steps)
+	return Result{Samples: samples, Final: st}
+}
+
+// MaxGap returns the largest gap observed across the run's samples.
+func (r Result) MaxGap() float64 {
+	var g float64
+	for _, s := range r.Samples {
+		if s.Gap > g {
+			g = s.Gap
+		}
+	}
+	return g
+}
+
+// MaxGamma returns the largest Γ observed across the run's samples.
+func (r Result) MaxGamma() float64 {
+	var g float64
+	for _, s := range r.Samples {
+		if s.Gamma > g {
+			g = s.Gamma
+		}
+	}
+	return g
+}

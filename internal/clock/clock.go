@@ -1,0 +1,73 @@
+// Package clock provides the timestamp sources Algorithm 2's enqueue path
+// reads. The paper assumes per-processor clocks that are "consistent amongst
+// all the processors": if processor i reads before processor j in the
+// linearization, i's value is smaller — the contract Intel's RDTSC provides
+// within a socket.
+//
+// Commodity Go exposes no RDTSC, so two substitutes are provided (see
+// DESIGN.md §2):
+//
+//   - Tick: a single atomic fetch-and-increment cell. It provides strictly
+//     unique, totally ordered timestamps — a consistency contract at least
+//     as strong as the paper assumes. It serializes enqueues through one
+//     cache line, which is acceptable because Algorithm 2's scalability
+//     target is the *dequeue* side.
+//   - Wall: Go's monotonic wall clock, nanosecond granularity, no shared
+//     state. Readings may tie across threads; MultiQueue breaks ties with a
+//     per-thread low-order suffix.
+//
+// Skewed wraps any Clock with a fixed per-handle offset so tests can inject
+// the bounded clock skew that the TL2 Δ rule must absorb.
+package clock
+
+import (
+	"time"
+
+	"repro/internal/pad"
+)
+
+// Clock yields 64-bit monotone timestamps.
+type Clock interface {
+	// Now returns the current timestamp. Successive calls observe
+	// non-decreasing values; implementations document uniqueness.
+	Now() uint64
+}
+
+// Tick is a global atomic counter clock with strictly increasing, unique
+// timestamps. The zero value is ready to use.
+type Tick struct {
+	c pad.Uint64
+}
+
+// NewTick returns a fresh tick clock starting at 1.
+func NewTick() *Tick { return &Tick{} }
+
+// Now returns the next tick. Values are unique across all callers.
+func (t *Tick) Now() uint64 { return t.c.Add(1) }
+
+// Peek returns the last issued tick without advancing the clock.
+func (t *Tick) Peek() uint64 { return t.c.Load() }
+
+// Wall reads Go's monotonic clock, offset so that readings start near zero.
+// Values are non-decreasing but may repeat across concurrent callers.
+type Wall struct {
+	start time.Time
+}
+
+// NewWall returns a wall clock anchored at the current instant.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// Now returns elapsed nanoseconds since the clock was created.
+func (w *Wall) Now() uint64 { return uint64(time.Since(w.start)) }
+
+// Skewed shifts a base clock by a fixed offset, modeling one thread's view
+// of an imperfectly synchronized clock. Build one per simulated thread.
+type Skewed struct {
+	// Base is the underlying clock.
+	Base Clock
+	// Offset is added to every reading.
+	Offset uint64
+}
+
+// Now returns Base.Now() + Offset.
+func (s Skewed) Now() uint64 { return s.Base.Now() + s.Offset }

@@ -1,0 +1,88 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTickUniqueAndMonotone(t *testing.T) {
+	c := NewTick()
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		v := c.Now()
+		if v <= prev {
+			t.Fatalf("tick %d not strictly increasing after %d", v, prev)
+		}
+		prev = v
+	}
+	if c.Peek() != prev {
+		t.Fatalf("Peek = %d, want %d", c.Peek(), prev)
+	}
+}
+
+func TestTickConcurrentUnique(t *testing.T) {
+	c := NewTick()
+	const workers, per = 8, 10000
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			vals := make([]uint64, per)
+			for i := range vals {
+				vals[i] = c.Now()
+			}
+			out[w] = vals
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*per)
+	for w := range out {
+		prev := uint64(0)
+		for _, v := range out[w] {
+			if v <= prev {
+				t.Fatal("per-thread tick sequence not increasing")
+			}
+			prev = v
+			if seen[v] {
+				t.Fatalf("duplicate tick %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique ticks, want %d", len(seen), workers*per)
+	}
+}
+
+func TestWallMonotone(t *testing.T) {
+	w := NewWall()
+	prev := uint64(0)
+	for i := 0; i < 10000; i++ {
+		v := w.Now()
+		if v < prev {
+			t.Fatalf("wall clock went backwards: %d < %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSkewedOffset(t *testing.T) {
+	base := NewTick()
+	s := Skewed{Base: base, Offset: 100}
+	v1 := base.Now() // consumes tick 1
+	v2 := s.Now()    // tick 2 + 100
+	if v2 != v1+1+100 {
+		t.Fatalf("skewed reading %d, want %d", v2, v1+1+100)
+	}
+}
+
+func TestClockInterface(t *testing.T) {
+	for _, c := range []Clock{NewTick(), NewWall(), Skewed{Base: NewTick(), Offset: 5}} {
+		a, b := c.Now(), c.Now()
+		if b < a {
+			t.Fatalf("%T not monotone", c)
+		}
+	}
+}

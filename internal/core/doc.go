@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contributions: the
+// MultiCounter relaxed approximate counter (Algorithm 1), the MultiQueue
+// relaxed priority/FIFO queue (Algorithm 2), and the relaxed timestamp
+// oracle that plugs the MultiCounter into timestamp-based concurrency
+// control (Section 8's TL2 experiment).
+//
+// Both structures follow the same recipe, which Section 6 proves sound under
+// an oblivious adversary when the number of shards m is a sufficiently large
+// constant multiple of the thread count n:
+//
+//   - state is spread over m independent linearizable shards (atomic
+//     counters; lock-protected priority queues);
+//   - updates that must be "small" (increments; dequeues) sample two shards
+//     and operate on the apparently better one — the two-choice rule;
+//   - the structure is distributionally linearizable (Section 5) to a
+//     sequential relaxed process whose per-operation cost is O(m·log m)
+//     w.h.p.: counter reads deviate by at most O(m·log m) from the true
+//     increment count (Theorem 6.1), dequeues return an element of rank
+//     O(m) in expectation and O(m·log m) w.h.p. (Theorem 7.1).
+//
+// Random choices come from caller-owned generators: every worker obtains a
+// Handle (one per goroutine) carrying its own rng stream, so the hot paths
+// share no mutable state beyond the shards themselves.
+//
+// The exported facade for downstream users is the root package repro/dlz,
+// which re-exports these types with a stable API.
+package core

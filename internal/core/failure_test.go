@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cpq"
+)
+
+// Failure-injection tests: the paper's model lets the adversary crash up to
+// n−1 processes. The MultiCounter is built from lock-free primitives, so
+// crashed threads cannot block others; the MultiQueue's per-queue locks are
+// a real liveness hazard that the TryDequeue path is designed to route
+// around. These tests pin both behaviours down.
+
+// TestMultiCounterSurvivesCrashedThreads: workers that stop mid-stream (the
+// crash model: simply never scheduled again) cannot affect other workers'
+// progress or the counter's exactness for completed increments.
+func TestMultiCounterSurvivesCrashedThreads(t *testing.T) {
+	mc := NewMultiCounter(64)
+	const healthy, crashed, per = 4, 4, 5000
+	var wg sync.WaitGroup
+	crashPoint := make(chan struct{})
+	var crashedDone sync.WaitGroup
+
+	// Crashed workers do a few increments then "crash" (return).
+	crashedDone.Add(crashed)
+	for w := 0; w < crashed; w++ {
+		go func(w int) {
+			defer crashedDone.Done()
+			h := mc.NewHandle(uint64(w) + 100)
+			for i := 0; i < 10; i++ {
+				h.Increment()
+			}
+			<-crashPoint // parked forever from the algorithm's viewpoint
+		}(w)
+	}
+
+	wg.Add(healthy)
+	for w := 0; w < healthy; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := mc.NewHandle(uint64(w) + 1)
+			for i := 0; i < per; i++ {
+				h.Increment()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Healthy workers completed healthy*per increments; crashed workers
+	// completed exactly 10 each before crashing.
+	if got, want := mc.Exact(), uint64(healthy*per+crashed*10); got != want {
+		t.Fatalf("Exact = %d, want %d", got, want)
+	}
+	close(crashPoint)
+	crashedDone.Wait()
+}
+
+// TestMultiQueueTryDequeueRoutesAroundDeadLockHolder: if a thread crashes
+// while holding one queue's lock, TryDequeue keeps making progress by
+// re-drawing, as long as other queues hold elements.
+func TestMultiQueueTryDequeueRoutesAroundDeadLockHolder(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Queues: 8, Seed: 1})
+	h := q.NewHandle(2)
+	for v := uint64(0); v < 800; v++ {
+		h.Enqueue(v)
+	}
+	// Simulate a crashed lock holder on one internal queue by locking it
+	// directly and never unlocking.
+	victim := q.qs[3]
+	locked := victim.LockForTest()
+	if !locked {
+		t.Fatal("could not acquire victim lock")
+	}
+
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := h.TryDequeue(32); ok {
+			got++
+			if got >= 300 { // plenty of progress despite the dead queue
+				return
+			}
+		}
+	}
+	t.Fatalf("only %d dequeues succeeded with one dead queue", got)
+}
+
+// TestCPQTryOpsSkipHeldLock: the cpq building block's try-operations fail
+// fast on a held lock instead of blocking.
+func TestCPQTryOpsSkipHeldLock(t *testing.T) {
+	pq := cpq.New(cpq.BackingBinary, 8, 1)
+	pq.Add(1, 10)
+	if !pq.LockForTest() {
+		t.Fatal("setup lock failed")
+	}
+	if pq.TryAdd(2, 20) {
+		t.Fatal("TryAdd succeeded on a held lock")
+	}
+	if _, _, acquired := pq.TryDeleteMin(); acquired {
+		t.Fatal("TryDeleteMin acquired a held lock")
+	}
+	// ReadMin stays readable (lock-free cached top) — the property the
+	// two-choice comparison depends on even when a lock holder is stalled.
+	if pq.ReadMin() != 1 {
+		t.Fatalf("ReadMin = %d under held lock", pq.ReadMin())
+	}
+	pq.UnlockForTest()
+	if !pq.TryAdd(2, 20) {
+		t.Fatal("TryAdd failed after unlock")
+	}
+}
+
+func TestTimestampsMonotoneHandle(t *testing.T) {
+	ts := NewTimestamps(32)
+	// Advance via another handle concurrently to create sampling noise.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		h := ts.NewHandle(50)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Advance()
+			}
+		}
+	}()
+	m := ts.NewHandle(51).Monotone()
+	prev := uint64(0)
+	for i := 0; i < 20000; i++ {
+		v := m.Sample()
+		if v < prev {
+			close(stop)
+			t.Fatalf("monotone sample went backwards: %d < %d", v, prev)
+		}
+		prev = v
+	}
+	if v := m.Tick(); v < prev {
+		close(stop)
+		t.Fatalf("Tick went backwards")
+	}
+	close(stop)
+	wg.Wait()
+}

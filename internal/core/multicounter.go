@@ -1,0 +1,163 @@
+package core
+
+import (
+	"repro/internal/counters"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// MultiCounter is the relaxed approximate counter of Algorithm 1: m atomic
+// counters; Increment applies the two-choice rule (read two random counters,
+// increment the one that appeared smaller); Read samples one counter and
+// scales by m to keep the magnitude of the true total.
+//
+// With m ≥ C·n for the analysis constant C, Theorem 6.1 shows the value
+// returned by Read is within O(m·log m) of the number of completed
+// increments, in expectation and w.h.p., at every point of every execution
+// under an oblivious scheduler.
+type MultiCounter struct {
+	shards *counters.Sharded
+	m      int
+	d      int
+}
+
+// MultiCounterOption configures NewMultiCounter.
+type MultiCounterOption func(*MultiCounter)
+
+// WithChoices sets the number of random choices d per increment (default 2).
+// d = 1 degenerates to the divergent single-choice process and exists for
+// ablation A1; d > 2 trades extra reads for tighter balance.
+func WithChoices(d int) MultiCounterOption {
+	return func(c *MultiCounter) {
+		if d < 1 {
+			panic("core: WithChoices needs d >= 1")
+		}
+		c.d = d
+	}
+}
+
+// NewMultiCounter returns a MultiCounter over m atomic counters.
+func NewMultiCounter(m int, opts ...MultiCounterOption) *MultiCounter {
+	if m <= 0 {
+		panic("core: NewMultiCounter needs m > 0")
+	}
+	c := &MultiCounter{shards: counters.NewSharded(m), m: m, d: 2}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// M returns the number of underlying counters.
+func (c *MultiCounter) M() int { return c.m }
+
+// Increment applies one two-choice (generally d-choice) increment using the
+// caller-owned generator r. Reads and the update are separate atomic steps,
+// exactly as in Algorithm 1 — the value read may be stale by the time of the
+// increment, which is the concurrency the paper analyzes.
+func (c *MultiCounter) Increment(r *rng.Xoshiro256) {
+	if c.d == 1 {
+		c.shards.Inc(r.Intn(c.m))
+		return
+	}
+	best := r.Intn(c.m)
+	bestV := c.shards.Read(best)
+	for k := 1; k < c.d; k++ {
+		i := r.Intn(c.m)
+		if v := c.shards.Read(i); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	c.shards.Inc(best)
+}
+
+// Add applies one two-choice update of weight delta — the weighted
+// balls-into-bins extension (Talwar–Wieder; Berenbrink et al., discussed in
+// the paper's related work). Theorem 7.1's potential argument covers weight
+// distributions with bounded moment generating functions, which includes any
+// fixed bounded delta; keep deltas small relative to the O(log m) gap scale
+// or the guarantee constants degrade.
+func (c *MultiCounter) Add(r *rng.Xoshiro256, delta uint64) {
+	if c.d == 1 {
+		c.shards.Add(r.Intn(c.m), delta)
+		return
+	}
+	best := r.Intn(c.m)
+	bestV := c.shards.Read(best)
+	for k := 1; k < c.d; k++ {
+		i := r.Intn(c.m)
+		if v := c.shards.Read(i); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	c.shards.Add(best, delta)
+}
+
+// Read returns m times the value of a uniformly random counter — the
+// approximate total (Algorithm 1's read).
+func (c *MultiCounter) Read(r *rng.Xoshiro256) uint64 {
+	return uint64(c.m) * c.shards.Read(r.Intn(c.m))
+}
+
+// Exact returns the sum of all counters. At quiescence this equals the
+// number of completed increments; under concurrency it is a lower bound at
+// the instant the scan ends.
+func (c *MultiCounter) Exact() uint64 { return c.shards.Sum() }
+
+// Gap returns the current max − min over the counters (the quantity whose
+// O(log m) bound drives Theorem 6.1). Non-atomic scan; for monitoring and
+// quality experiments.
+func (c *MultiCounter) Gap() uint64 {
+	min, max := c.shards.MinMax()
+	return max - min
+}
+
+// Snapshot copies the per-counter values into dst (len must equal M) for the
+// quality experiment's bin-distribution traces.
+func (c *MultiCounter) Snapshot(dst []uint64) { c.shards.Snapshot(dst) }
+
+// Handle binds a MultiCounter to one goroutine's private generator. All hot
+// paths go through handles so no PRNG state is shared.
+type Handle struct {
+	c *MultiCounter
+	r *rng.Xoshiro256
+}
+
+// NewHandle returns a handle whose random stream is derived from seed.
+// Distinct workers must use distinct seeds (or rng.Streams).
+func (c *MultiCounter) NewHandle(seed uint64) *Handle {
+	return &Handle{c: c, r: rng.NewXoshiro256(seed)}
+}
+
+// Increment applies one relaxed increment.
+func (h *Handle) Increment() { h.c.Increment(h.r) }
+
+// Add applies one relaxed update of weight delta.
+func (h *Handle) Add(delta uint64) { h.c.Add(h.r, delta) }
+
+// Read returns the approximate counter value.
+func (h *Handle) Read() uint64 { return h.c.Read(h.r) }
+
+// Counter returns the underlying MultiCounter.
+func (h *Handle) Counter() *MultiCounter { return h.c }
+
+// IncrementTraced performs Increment and records the operation in log with
+// stamps from rec; the linearization stamp is taken adjacent to the atomic
+// increment. Used by the dlcheck tool and the distributional-linearizability
+// integration tests.
+func (h *Handle) IncrementTraced(rec *trace.Recorder, log *trace.ThreadLog) {
+	start := rec.Stamp()
+	h.c.Increment(h.r)
+	lin := rec.Stamp()
+	log.Record(trace.Event{Kind: trace.KindInc, Start: start, Lin: lin, End: lin})
+}
+
+// ReadTraced performs Read and records the operation with its returned
+// value.
+func (h *Handle) ReadTraced(rec *trace.Recorder, log *trace.ThreadLog) uint64 {
+	start := rec.Stamp()
+	v := h.c.Read(h.r)
+	lin := rec.Stamp()
+	log.Record(trace.Event{Kind: trace.KindRead, Start: start, Lin: lin, End: lin, Ret: v})
+	return v
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"repro/internal/clock"
+	"repro/internal/cpq"
+	"repro/internal/heap"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// MultiQueue is the relaxed queue of Algorithm 2: m linearizable priority
+// queues; Enqueue stamps the element with the current clock value and adds
+// it to a random queue; Dequeue reads the heads of two random queues and
+// deletes from the one with the smaller (older / higher-priority) head.
+//
+// Used with clock priorities it is a relaxed FIFO queue whose dequeues
+// return one of the O(m·log m) oldest elements w.h.p.; used with explicit
+// priorities (EnqueuePriority) it is the MultiQueue relaxed priority queue
+// of Rihani, Sanders and Dementiev, with the buffer assumption Section 7
+// states: analysis guarantees apply while no insertion carries a higher
+// priority than an element already removed.
+type MultiQueue struct {
+	qs  []*cpq.Queue
+	clk clock.Clock
+	m   int
+}
+
+// MultiQueueConfig configures NewMultiQueue. The zero value of optional
+// fields selects defaults.
+type MultiQueueConfig struct {
+	// Queues is m, the number of internal priority queues. Required.
+	Queues int
+	// Backing selects the per-queue sequential structure (default binary
+	// heap; ablation A4 sweeps this).
+	Backing cpq.Backing
+	// Clock supplies enqueue timestamps (default: a fresh Tick clock, which
+	// gives strictly unique, consistently ordered stamps).
+	Clock clock.Clock
+	// Capacity is the per-queue preallocation hint (default 1024).
+	Capacity int
+	// Seed feeds per-queue skiplist level generators.
+	Seed uint64
+}
+
+// NewMultiQueue returns a MultiQueue with the given configuration.
+func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
+	if cfg.Queues <= 0 {
+		panic("core: MultiQueueConfig.Queues must be > 0")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewTick()
+	}
+	sm := rng.NewSplitMix64(cfg.Seed)
+	mq := &MultiQueue{qs: make([]*cpq.Queue, cfg.Queues), clk: cfg.Clock, m: cfg.Queues}
+	for i := range mq.qs {
+		mq.qs[i] = cpq.New(cfg.Backing, cfg.Capacity, sm.Next())
+	}
+	return mq
+}
+
+// M returns the number of internal queues.
+func (q *MultiQueue) M() int { return q.m }
+
+// Len returns the total number of stored elements (exact at quiescence).
+func (q *MultiQueue) Len() int {
+	n := 0
+	for _, pq := range q.qs {
+		n += pq.Len()
+	}
+	return n
+}
+
+// Sizes copies the per-queue element counts into dst (len must equal M) —
+// the queue counterpart of MultiCounter.Snapshot, used to observe how evenly
+// the random-insert rule spreads elements. Exact at quiescence.
+func (q *MultiQueue) Sizes(dst []int) {
+	if len(dst) != q.m {
+		panic("core: Sizes dst length mismatch")
+	}
+	for i, pq := range q.qs {
+		dst[i] = pq.Len()
+	}
+}
+
+// MQHandle binds a MultiQueue to one goroutine's private generator.
+type MQHandle struct {
+	q *MultiQueue
+	r *rng.Xoshiro256
+}
+
+// NewHandle returns a per-goroutine handle seeded with seed.
+func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
+	return &MQHandle{q: q, r: rng.NewXoshiro256(seed)}
+}
+
+// Queue returns the underlying MultiQueue.
+func (h *MQHandle) Queue() *MultiQueue { return h.q }
+
+// Enqueue implements Algorithm 2's Enqueue: stamp with the clock, insert
+// into a uniformly random queue. It returns the priority assigned, which
+// doubles as the element's unique label under a Tick clock.
+func (h *MQHandle) Enqueue(value uint64) uint64 {
+	p := h.q.clk.Now()
+	h.q.qs[h.r.Intn(h.q.m)].Add(p, value)
+	return p
+}
+
+// EnqueuePriority inserts with an explicit priority (relaxed priority-queue
+// mode), bypassing the clock.
+func (h *MQHandle) EnqueuePriority(priority, value uint64) {
+	h.q.qs[h.r.Intn(h.q.m)].Add(priority, value)
+}
+
+// Dequeue implements Algorithm 2's Dequeue: choose two random queues,
+// compare their ReadMin priorities, DeleteMin on the apparently smaller.
+// As in the paper, the comparison uses possibly stale information; the
+// deletion itself is linearizable. If the chosen queue turns out empty the
+// operation retries, and after 2·m fruitless draws it scans all queues once;
+// ok is false only when every queue was observed empty.
+func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
+	for attempt := 0; attempt < 2*h.q.m; attempt++ {
+		i, j := h.r.Intn(h.q.m), h.r.Intn(h.q.m)
+		if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
+			i = j
+		}
+		if it, ok = h.q.qs[i].DeleteMin(); ok {
+			return it, true
+		}
+	}
+	// Fallback sweep so that draining terminates deterministically.
+	for i := 0; i < h.q.m; i++ {
+		if it, ok = h.q.qs[i].DeleteMin(); ok {
+			return it, true
+		}
+	}
+	return heap.Item{}, false
+}
+
+// DequeueD generalizes Dequeue to d random choices: it reads the heads of d
+// random queues and deletes from the best. d = 1 is the divergent
+// single-choice baseline (ablation A1 for queues); d > 2 tightens rank
+// quality at the cost of extra ReadMin traffic. The retry/sweep structure
+// matches Dequeue.
+func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
+	if d < 1 {
+		panic("core: DequeueD needs d >= 1")
+	}
+	for attempt := 0; attempt < 2*h.q.m; attempt++ {
+		best := h.r.Intn(h.q.m)
+		bestTop := h.q.qs[best].ReadMin()
+		for k := 1; k < d; k++ {
+			j := h.r.Intn(h.q.m)
+			if top := h.q.qs[j].ReadMin(); top < bestTop {
+				best, bestTop = j, top
+			}
+		}
+		if it, ok = h.q.qs[best].DeleteMin(); ok {
+			return it, true
+		}
+	}
+	for i := 0; i < h.q.m; i++ {
+		if it, ok = h.q.qs[i].DeleteMin(); ok {
+			return it, true
+		}
+	}
+	return heap.Item{}, false
+}
+
+// TryDequeue is the lock-avoiding variant used by throughput benchmarks:
+// it compares two ReadMin values and only try-locks the winner, re-drawing
+// on contention instead of spinning. attempts bounds the number of draws;
+// ok is false if no element was obtained within the budget.
+func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
+	for a := 0; a < attempts; a++ {
+		i, j := h.r.Intn(h.q.m), h.r.Intn(h.q.m)
+		if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
+			i = j
+		}
+		if it, okPop, acquired := h.q.qs[i].TryDeleteMin(); acquired && okPop {
+			return it, true
+		}
+	}
+	return heap.Item{}, false
+}
+
+// EnqueueTraced performs Enqueue and records the operation; the assigned
+// priority is the element's label for the dlin queue-spec replay.
+func (h *MQHandle) EnqueueTraced(value uint64, rec *trace.Recorder, log *trace.ThreadLog) uint64 {
+	start := rec.Stamp()
+	p := h.Enqueue(value)
+	lin := rec.Stamp()
+	log.Record(trace.Event{Kind: trace.KindEnq, Start: start, Lin: lin, End: lin, Arg: p})
+	return p
+}
+
+// DequeueTraced performs Dequeue and records the operation with the removed
+// element's label.
+func (h *MQHandle) DequeueTraced(rec *trace.Recorder, log *trace.ThreadLog) (heap.Item, bool) {
+	start := rec.Stamp()
+	it, ok := h.Dequeue()
+	lin := rec.Stamp()
+	log.Record(trace.Event{Kind: trace.KindDeq, Start: start, Lin: lin, End: lin, Ret: it.Priority, OK: ok})
+	return it, ok
+}

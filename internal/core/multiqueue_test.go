@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/cpq"
+	"repro/internal/dlin"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func newMQ(m int) *MultiQueue {
+	return NewMultiQueue(MultiQueueConfig{Queues: m, Seed: 1})
+}
+
+func TestMultiQueueFIFOishSequential(t *testing.T) {
+	q := newMQ(4)
+	h := q.NewHandle(1)
+	for v := uint64(0); v < 100; v++ {
+		h.Enqueue(v)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		it, ok := h.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+		if seen[it.Value] {
+			t.Fatalf("value %d dequeued twice", it.Value)
+		}
+		seen[it.Value] = true
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue on empty returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestMultiQueueTimestampsUnique(t *testing.T) {
+	q := newMQ(4)
+	h := q.NewHandle(2)
+	seen := map[uint64]bool{}
+	for v := uint64(0); v < 1000; v++ {
+		p := h.Enqueue(v)
+		if seen[p] {
+			t.Fatalf("duplicate priority %d from tick clock", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestMultiQueueConcurrentNoLossNoDup(t *testing.T) {
+	const producers, per = 4, 5000
+	q := newMQ(16)
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			h := q.NewHandle(uint64(p) + 10)
+			for i := 0; i < per; i++ {
+				h.Enqueue(uint64(p*per + i))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	const consumers = 4
+	out := make([][]uint64, consumers)
+	wg.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			h := q.NewHandle(uint64(c) + 100)
+			for {
+				it, ok := h.Dequeue()
+				if !ok {
+					return
+				}
+				out[c] = append(out[c], it.Value)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, producers*per)
+	total := 0
+	for _, vs := range out {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != producers*per {
+		t.Fatalf("dequeued %d, want %d", total, producers*per)
+	}
+}
+
+func TestMultiQueueRankErrorLinearInM(t *testing.T) {
+	// Theorem 7.1 empirically, at the data-structure level, single thread
+	// (the sequential relaxation): dequeue rank is O(m) in expectation.
+	for _, m := range []int{8, 32} {
+		q := newMQ(m)
+		h := q.NewHandle(3)
+		// Track present labels; compute the rank of each dequeue against a
+		// Fenwick tree, like the dlin replay does.
+		const buffer = 2000
+		maxLabels := buffer + 20000 + 1
+		fw := dlin.NewFenwick(maxLabels)
+		for i := 0; i < buffer; i++ {
+			fw.Add(int(h.Enqueue(0)), 1)
+		}
+		ranks := stats.NewSample(20000)
+		for i := 0; i < 20000; i++ {
+			fw.Add(int(h.Enqueue(0)), 1)
+			it, ok := h.Dequeue()
+			if !ok {
+				t.Fatal("dequeue failed with non-empty buffer")
+			}
+			rank := fw.PrefixSum(int(it.Priority))
+			fw.Add(int(it.Priority), -1)
+			ranks.AddInt(int(rank))
+		}
+		if mean := ranks.Mean(); mean > 4*float64(m)+4 {
+			t.Fatalf("mean dequeue rank %v not O(m) at m=%d", mean, m)
+		}
+		if p999 := ranks.Quantile(0.999); p999 > 4*float64(m)*math.Log2(float64(m))+8 {
+			t.Fatalf("p99.9 rank %v not O(m log m) at m=%d", p999, m)
+		}
+	}
+}
+
+func TestMultiQueuePriorityMode(t *testing.T) {
+	q := newMQ(4)
+	h := q.NewHandle(4)
+	// Insert priorities in reverse; dequeues should be strongly biased
+	// toward low priorities: with a big buffer, the first dequeue must not
+	// return anything near the top of the range.
+	for p := uint64(1000); p >= 1; p-- {
+		h.EnqueuePriority(p, p)
+	}
+	it, ok := h.Dequeue()
+	if !ok {
+		t.Fatal("dequeue failed")
+	}
+	if it.Priority > 100 {
+		t.Fatalf("dequeue returned rank-%d-ish priority %d; relaxation too weak", it.Priority, it.Priority)
+	}
+}
+
+func TestMultiQueueTryDequeue(t *testing.T) {
+	q := newMQ(4)
+	h := q.NewHandle(5)
+	if _, ok := h.TryDequeue(8); ok {
+		t.Fatal("TryDequeue on empty returned ok")
+	}
+	h.Enqueue(7)
+	// With generous attempts the single element must be found.
+	if it, ok := h.TryDequeue(64); !ok || it.Value != 7 {
+		t.Fatalf("TryDequeue = %+v, %v", it, ok)
+	}
+}
+
+func TestMultiQueueBackings(t *testing.T) {
+	for _, b := range []cpq.Backing{cpq.BackingBinary, cpq.BackingPairing, cpq.BackingSkiplist} {
+		q := NewMultiQueue(MultiQueueConfig{Queues: 8, Backing: b, Seed: 6})
+		h := q.NewHandle(7)
+		for v := uint64(0); v < 500; v++ {
+			h.Enqueue(v)
+		}
+		count := 0
+		for {
+			if _, ok := h.Dequeue(); !ok {
+				break
+			}
+			count++
+		}
+		if count != 500 {
+			t.Fatalf("%v backing: drained %d, want 500", b, count)
+		}
+	}
+}
+
+func TestMultiQueueWallClock(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Queues: 4, Clock: clock.NewWall(), Seed: 8})
+	h := q.NewHandle(9)
+	for v := uint64(0); v < 100; v++ {
+		h.Enqueue(v)
+	}
+	drained := 0
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != 100 {
+		t.Fatalf("drained %d", drained)
+	}
+}
+
+func TestMultiQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Queues=0 did not panic")
+		}
+	}()
+	NewMultiQueue(MultiQueueConfig{Queues: 0})
+}
+
+func TestMultiQueueSizes(t *testing.T) {
+	q := newMQ(4)
+	h := q.NewHandle(30)
+	const n = 4000
+	for v := uint64(0); v < n; v++ {
+		h.Enqueue(v)
+	}
+	sizes := make([]int, 4)
+	q.Sizes(sizes)
+	total := 0
+	for _, s := range sizes {
+		total += s
+		// Uniform random placement: each queue holds ~n/4 ± a few sigma
+		// (binomial sd ≈ 27; allow 8 sigma).
+		if s < n/4-220 || s > n/4+220 {
+			t.Fatalf("queue size %d far from uniform expectation %d", s, n/4)
+		}
+	}
+	if total != n {
+		t.Fatalf("sizes sum %d != %d", total, n)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Sizes with wrong length did not panic")
+			}
+		}()
+		q.Sizes(make([]int, 3))
+	}()
+}
+
+// TestDistributionalLinearizabilityQueue is experiment E9 for the queue: a
+// live concurrent run is mapped onto the relaxed sequential queue process;
+// the witness must exist and dequeue rank costs must respect the
+// O(m log m) envelope.
+func TestDistributionalLinearizabilityQueue(t *testing.T) {
+	const workers, per, m = 4, 4000, 32
+	q := newMQ(m)
+	rec := trace.NewRecorder(workers, 2*per+1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := q.NewHandle(uint64(w) + 50)
+			log := rec.Log(w)
+			// Phase 1: buffer, then steady-state enq+deq pairs.
+			for i := 0; i < per/2; i++ {
+				h.EnqueueTraced(uint64(i), rec, log)
+			}
+			for i := 0; i < per/2; i++ {
+				h.EnqueueTraced(uint64(i), rec, log)
+				h.DequeueTraced(rec, log)
+			}
+		}(w)
+	}
+	wg.Wait()
+	events := rec.Merge()
+	maxLabel := uint64(0)
+	for _, e := range events {
+		if e.Kind == trace.KindEnq && e.Arg > maxLabel {
+			maxLabel = e.Arg
+		}
+	}
+	w, err := dlin.Replay(dlin.NewQueueSpec(maxLabel), events)
+	if err != nil {
+		t.Fatalf("witness mapping failed: %v", err)
+	}
+	if w.Costs.N() == 0 {
+		t.Fatal("no dequeue costs recorded")
+	}
+	envelope := dlin.Envelope(m)
+	if mean := w.Costs.Mean(); mean > 2*envelope {
+		t.Fatalf("mean dequeue rank cost %v exceeds 2x envelope %v", mean, envelope)
+	}
+}
+
+func BenchmarkMultiQueueEnqDeq(b *testing.B) {
+	q := newMQ(64)
+	h := q.NewHandle(1)
+	for i := 0; i < 4096; i++ {
+		h.Enqueue(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Enqueue(uint64(i))
+		h.Dequeue()
+	}
+}

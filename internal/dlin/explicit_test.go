@@ -1,0 +1,182 @@
+package dlin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedCounterLTSAccepts(t *testing.T) {
+	l := BoundedCounterLTS(3, 3)
+	cases := []struct {
+		trace []Label
+		want  bool
+	}{
+		{[]Label{}, true},
+		{[]Label{{Name: "inc"}}, true},
+		{[]Label{{Name: "inc"}, {Name: "read", Ret: 1}}, true},
+		{[]Label{{Name: "read", Ret: 0}}, true},
+		{[]Label{{Name: "read", Ret: 1}}, false},                                     // wrong value in state 0
+		{[]Label{{Name: "inc"}, {Name: "inc"}, {Name: "inc"}, {Name: "inc"}}, false}, // beyond bound
+		{[]Label{{Name: "inc"}, {Name: "read", Ret: 0}}, false},
+	}
+	for i, c := range cases {
+		if got := l.Accepts(c.trace); got != c.want {
+			t.Fatalf("case %d: Accepts = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestCounterSpecMatchesExplicitLTS is the defining property of a
+// quantitative relaxation (Section 5, step 2): the executable CounterSpec
+// assigns cost 0 to a transition exactly when the explicit LTS contains it.
+func TestCounterSpecMatchesExplicitLTS(t *testing.T) {
+	const bound = 12
+	l := BoundedCounterLTS(bound, bound)
+	f := func(ops []uint8) bool {
+		spec := &CounterSpec{}
+		q := 0
+		incs := 0
+		for _, o := range ops {
+			var lab Label
+			if o%3 == 0 && incs < bound {
+				lab = Label{Name: "inc"}
+				incs++
+			} else {
+				lab = Label{Name: "read", Ret: uint64(o % (bound + 1))}
+			}
+			m := Method{Name: lab.Name, Ret: lab.Ret}
+			cost, err := spec.Apply(m)
+			if err != nil {
+				return false
+			}
+			next, inLTS := l.Step(q, lab)
+			if (cost == 0) != inLTS {
+				return false // relaxation property violated
+			}
+			if inLTS {
+				q = next
+			} else if lab.Name == "inc" {
+				q++ // completion advances the count anyway
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedQueueLTSAccepts(t *testing.T) {
+	l := BoundedQueueLTS(4)
+	enq := func(x uint64) Label { return Label{Name: "enq", Arg: x} }
+	deq := func(x uint64) Label { return Label{Name: "deq", Ret: x, OK: true} }
+	cases := []struct {
+		trace []Label
+		want  bool
+	}{
+		{[]Label{enq(1), deq(1)}, true},
+		{[]Label{enq(2), enq(1), deq(1), deq(2)}, true},
+		{[]Label{enq(2), enq(1), deq(2)}, false}, // not the minimum
+		{[]Label{deq(1)}, false},                 // empty
+		{[]Label{{Name: "deq", OK: false}}, true},
+		{[]Label{enq(1), enq(1)}, false}, // duplicate label
+	}
+	for i, c := range cases {
+		if got := l.Accepts(c.trace); got != c.want {
+			t.Fatalf("case %d: Accepts = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestQueueSpecMatchesExplicitLTS: QueueSpec's zero-cost transitions are
+// exactly the explicit queue LTS's transitions (dequeue of the minimum).
+func TestQueueSpecMatchesExplicitLTS(t *testing.T) {
+	const maxLabel = 8
+	l := BoundedQueueLTS(maxLabel)
+	f := func(ops []uint8) bool {
+		spec := NewQueueSpec(maxLabel)
+		q := 0
+		present := map[uint64]bool{}
+		for _, o := range ops {
+			lab := uint64(o%maxLabel) + 1
+			if o%2 == 0 && !present[lab] {
+				cost, err := spec.Apply(Method{Name: "enq", Arg: lab})
+				if err != nil || cost != 0 {
+					return false
+				}
+				next, ok := l.Step(q, Label{Name: "enq", Arg: lab})
+				if !ok {
+					return false
+				}
+				q = next
+				present[lab] = true
+				continue
+			}
+			if present[lab] {
+				cost, err := spec.Apply(Method{Name: "deq", Ret: lab, OK: true})
+				if err != nil {
+					return false
+				}
+				next, inLTS := l.Step(q, Label{Name: "deq", Ret: lab, OK: true})
+				if (cost == 0) != inLTS {
+					return false // zero cost iff dequeued the minimum
+				}
+				if inLTS {
+					q = next
+				} else {
+					// Completion: remove the label from the explicit state
+					// by hand to keep the two machines aligned.
+					q = q &^ (1 << uint(lab-1))
+				}
+				delete(present, lab)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitLTSPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewExplicitLTS 0":  func() { NewExplicitLTS(0) },
+		"AddTransition oob": func() { NewExplicitLTS(2).AddTransition(0, Label{}, 5) },
+		"BoundedQueue big":  func() { BoundedQueueLTS(20) },
+		"CompletedCost":     func() { BoundedCounterLTS(1, 1).CompletedCost(0, Label{Name: "read", Ret: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	l := Label{Name: "enq", Arg: 3}
+	if l.String() != "enq(arg=3,ret=0,ok=false)" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+// TestPrefixClosure: S is prefix-closed (definition of a sequential data
+// structure); every prefix of an accepted trace is accepted.
+func TestPrefixClosure(t *testing.T) {
+	l := BoundedCounterLTS(6, 6)
+	trace := []Label{
+		{Name: "inc"}, {Name: "read", Ret: 1}, {Name: "inc"}, {Name: "inc"},
+		{Name: "read", Ret: 3}, {Name: "inc"},
+	}
+	if !l.Accepts(trace) {
+		t.Fatal("full trace rejected")
+	}
+	for k := 0; k <= len(trace); k++ {
+		if !l.Accepts(trace[:k]) {
+			t.Fatalf("prefix of length %d rejected", k)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package heap provides the sequential priority-queue substrates that back
+// the MultiQueue's per-queue storage: an array binary min-heap and a pairing
+// heap with node recycling.
+//
+// Both order Items by Priority with ties broken by insertion order being
+// irrelevant (the MultiQueue's timestamps are unique per enqueue, so ties
+// occur only in synthetic tests). Both are deliberately not concurrent; the
+// internal/cpq package owns locking, mirroring the paper's assumption of "a
+// set of m linearizable priority queues" built from sequential ones.
+package heap
+
+// Item is a priority-queue entry: a 64-bit priority (smaller dequeues first)
+// and an opaque 64-bit payload.
+type Item struct {
+	Priority uint64
+	Value    uint64
+}
+
+// Interface is the sequential min-priority-queue contract shared by the
+// binary heap, the pairing heap, and the skiplist adapter in internal/cpq.
+type Interface interface {
+	// Push inserts an item.
+	Push(Item)
+	// Pop removes and returns the minimum item; ok is false when empty.
+	Pop() (it Item, ok bool)
+	// Peek returns the minimum item without removing it; ok is false when
+	// empty.
+	Peek() (it Item, ok bool)
+	// Len returns the number of stored items.
+	Len() int
+}
+
+// Binary is an array-backed binary min-heap. The zero value is an empty
+// heap; NewBinary preallocates capacity to keep the hot path allocation-free.
+type Binary struct {
+	a []Item
+}
+
+// NewBinary returns an empty heap with the given capacity hint.
+func NewBinary(capacity int) *Binary {
+	return &Binary{a: make([]Item, 0, capacity)}
+}
+
+// Len returns the number of stored items.
+func (h *Binary) Len() int { return len(h.a) }
+
+// Push inserts an item in O(log n).
+func (h *Binary) Push(it Item) {
+	h.a = append(h.a, it)
+	h.up(len(h.a) - 1)
+}
+
+// Peek returns the minimum item without removing it.
+func (h *Binary) Peek() (Item, bool) {
+	if len(h.a) == 0 {
+		return Item{}, false
+	}
+	return h.a[0], true
+}
+
+// Pop removes and returns the minimum item in O(log n).
+func (h *Binary) Pop() (Item, bool) {
+	if len(h.a) == 0 {
+		return Item{}, false
+	}
+	min := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return min, true
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *Binary) Reset() { h.a = h.a[:0] }
+
+func (h *Binary) up(i int) {
+	it := h.a[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].Priority <= it.Priority {
+			break
+		}
+		h.a[i] = h.a[parent]
+		i = parent
+	}
+	h.a[i] = it
+}
+
+func (h *Binary) down(i int) {
+	n := len(h.a)
+	it := h.a[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h.a[r].Priority < h.a[l].Priority {
+			least = r
+		}
+		if it.Priority <= h.a[least].Priority {
+			break
+		}
+		h.a[i] = h.a[least]
+		i = least
+	}
+	h.a[i] = it
+}
+
+// Verify checks the heap invariant (parent <= children) and returns false at
+// the first violation. Tests use it after randomized operation sequences.
+func (h *Binary) Verify() bool {
+	for i := 1; i < len(h.a); i++ {
+		if h.a[(i-1)/2].Priority > h.a[i].Priority {
+			return false
+		}
+	}
+	return true
+}
+
+// Static assertion that both heaps satisfy Interface.
+var (
+	_ Interface = (*Binary)(nil)
+	_ Interface = (*Pairing)(nil)
+)

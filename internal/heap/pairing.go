@@ -1,0 +1,151 @@
+package heap
+
+// Pairing is a pairing heap: O(1) amortized insert, O(log n) amortized
+// delete-min. It exists as the ablation alternative to Binary (experiment
+// A4): pairing heaps favor the MultiQueue's insert-heavy phases, while the
+// binary heap's contiguous array favors cache locality on delete-min.
+//
+// Nodes are recycled through an internal free list so steady-state operation
+// performs no allocation — important under Go's GC for the fine-grained
+// benchmarks (see the repro notes in DESIGN.md).
+type Pairing struct {
+	root *pairNode
+	n    int
+	free *pairNode
+}
+
+type pairNode struct {
+	item    Item
+	child   *pairNode // leftmost child
+	sibling *pairNode // next sibling to the right
+}
+
+// NewPairing returns an empty pairing heap with capacity preallocated nodes
+// on the free list.
+func NewPairing(capacity int) *Pairing {
+	p := &Pairing{}
+	nodes := make([]pairNode, capacity)
+	for i := range nodes {
+		nodes[i].sibling = p.free
+		p.free = &nodes[i]
+	}
+	return p
+}
+
+// Len returns the number of stored items.
+func (p *Pairing) Len() int { return p.n }
+
+func (p *Pairing) alloc(it Item) *pairNode {
+	nd := p.free
+	if nd == nil {
+		nd = &pairNode{}
+	} else {
+		p.free = nd.sibling
+	}
+	nd.item = it
+	nd.child, nd.sibling = nil, nil
+	return nd
+}
+
+func (p *Pairing) release(nd *pairNode) {
+	nd.child = nil
+	nd.sibling = p.free
+	p.free = nd
+}
+
+// meld links two heap roots, returning the smaller as the new root.
+func meld(a, b *pairNode) *pairNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.item.Priority < a.item.Priority {
+		a, b = b, a
+	}
+	b.sibling = a.child
+	a.child = b
+	return a
+}
+
+// Push inserts an item in O(1).
+func (p *Pairing) Push(it Item) {
+	p.root = meld(p.root, p.alloc(it))
+	p.n++
+}
+
+// Peek returns the minimum item without removing it.
+func (p *Pairing) Peek() (Item, bool) {
+	if p.root == nil {
+		return Item{}, false
+	}
+	return p.root.item, true
+}
+
+// Pop removes and returns the minimum item using two-pass pairing.
+func (p *Pairing) Pop() (Item, bool) {
+	if p.root == nil {
+		return Item{}, false
+	}
+	min := p.root.item
+	old := p.root
+	p.root = mergePairs(old.child)
+	p.release(old)
+	p.n--
+	return min, true
+}
+
+// mergePairs implements the classic two-pass combine: pair up siblings left
+// to right, then meld the pairs right to left. Iterative to avoid stack
+// growth on long sibling chains.
+func mergePairs(first *pairNode) *pairNode {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: pair up, collecting pair roots in a reversed chain through
+	// the sibling field.
+	var paired *pairNode
+	for first != nil {
+		a := first
+		b := a.sibling
+		if b == nil {
+			a.sibling = paired
+			paired = a
+			break
+		}
+		next := b.sibling
+		a.sibling, b.sibling = nil, nil
+		m := meld(a, b)
+		m.sibling = paired
+		paired = m
+		first = next
+	}
+	// Pass 2: meld right to left (the chain is already reversed).
+	root := paired
+	paired = paired.sibling
+	root.sibling = nil
+	for paired != nil {
+		next := paired.sibling
+		paired.sibling = nil
+		root = meld(root, paired)
+		paired = next
+	}
+	return root
+}
+
+// Reset empties the heap, returning all nodes to the free list.
+func (p *Pairing) Reset() {
+	var walk func(nd *pairNode)
+	walk = func(nd *pairNode) {
+		for nd != nil {
+			next := nd.sibling
+			walk(nd.child)
+			p.release(nd)
+			nd = next
+		}
+	}
+	walk(p.root)
+	p.root = nil
+	p.n = 0
+}

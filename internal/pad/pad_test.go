@@ -1,0 +1,147 @@
+package pad
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestPaddedSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLine {
+		t.Fatalf("Uint64 size %d, want %d", s, CacheLine)
+	}
+	if s := unsafe.Sizeof(Int64{}); s != CacheLine {
+		t.Fatalf("Int64 size %d, want %d", s, CacheLine)
+	}
+	if s := unsafe.Sizeof(Bool{}); s != CacheLine {
+		t.Fatalf("Bool size %d, want %d", s, CacheLine)
+	}
+	if s := unsafe.Sizeof(SpinLock{}); s != CacheLine {
+		t.Fatalf("SpinLock size %d, want %d", s, CacheLine)
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var u Uint64
+	if u.Load() != 0 {
+		t.Fatal("zero value not 0")
+	}
+	u.Store(5)
+	if u.Load() != 5 {
+		t.Fatal("Store/Load mismatch")
+	}
+	if u.Add(3) != 8 {
+		t.Fatal("Add result wrong")
+	}
+	if !u.CompareAndSwap(8, 10) || u.Load() != 10 {
+		t.Fatal("CAS should succeed")
+	}
+	if u.CompareAndSwap(8, 11) {
+		t.Fatal("CAS with stale old should fail")
+	}
+}
+
+func TestInt64Ops(t *testing.T) {
+	var v Int64
+	v.Store(-4)
+	if v.Add(1) != -3 {
+		t.Fatal("Add on negative failed")
+	}
+	if !v.CompareAndSwap(-3, 7) || v.Load() != 7 {
+		t.Fatal("CAS failed")
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero value not false")
+	}
+	b.Store(true)
+	if !b.Load() {
+		t.Fatal("Store(true) not visible")
+	}
+	if !b.CompareAndSwap(true, false) || b.Load() {
+		t.Fatal("CAS failed")
+	}
+}
+
+func TestUint64ConcurrentAdd(t *testing.T) {
+	var u Uint64
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				u.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if u.Load() != workers*perWorker {
+		t.Fatalf("lost updates: %d != %d", u.Load(), workers*perWorker)
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Lock()
+				counter++ // unsynchronized except for the lock
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*perWorker {
+		t.Fatalf("mutual exclusion violated: %d != %d", counter, workers*perWorker)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if !l.Locked() {
+		t.Fatal("Locked() false while held")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Locked() true after Unlock")
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockUnlockPanics(t *testing.T) {
+	var l SpinLock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked SpinLock did not panic")
+		}
+	}()
+	l.Unlock()
+}
+
+func BenchmarkSpinLockUncontended(b *testing.B) {
+	var l SpinLock
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}

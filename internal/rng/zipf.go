@@ -1,0 +1,91 @@
+package rng
+
+import "math"
+
+// Zipf draws values in [0, n) with probability proportional to
+// 1/(rank+1)^theta. The TL2 experiments in the paper use uniform object
+// selection; Zipf is provided for the skewed-contention ablations, where a
+// small hot set stresses both the relaxed clock's Δ rule and the abort path.
+//
+// The implementation uses the rejection-inversion sampler of Hörmann and
+// Derflinger ("Rejection-inversion to generate variates from monotone
+// discrete distributions"), the same algorithm behind math/rand.Zipf,
+// re-derived here so that it runs on this package's generators.
+type Zipf struct {
+	r            *Xoshiro256
+	n            float64
+	theta        float64
+	q            float64 // 1 - theta
+	oneOverQ     float64
+	hIntegralX1  float64
+	hIntegralNum float64
+	s            float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent theta > 0,
+// theta != 1 handled via the general transform and theta == 1 via logs.
+func NewZipf(r *Xoshiro256, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf needs n > 0")
+	}
+	if theta <= 0 {
+		panic("rng: NewZipf needs theta > 0")
+	}
+	z := &Zipf{r: r, n: float64(n), theta: theta, q: 1 - theta}
+	if z.q != 0 {
+		z.oneOverQ = 1 / z.q
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(z.n + 0.5)
+	z.s = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// hIntegral is the antiderivative of h(x) = x^-theta.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.q*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.theta * math.Log(x)) }
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.q
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series fallback near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2 + x*x/3 - x*x*x/4
+}
+
+// helper2 computes expm1(x)/x with a series fallback near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2 + x*x/6 + x*x*x/24
+}
+
+// Next returns the next Zipf variate in [0, n).
+func (z *Zipf) Next() int {
+	for {
+		u := z.hIntegralNum + z.r.Float64()*(z.hIntegralX1-z.hIntegralNum)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sched
+
+import "repro/internal/rng"
+
+// RoundRobin schedules threads cyclically — the benign schedule, equivalent
+// to the sequential process when N = 1.
+type RoundRobin struct {
+	next int
+}
+
+// Next implements Adversary.
+func (a *RoundRobin) Next(v View) int {
+	t := a.next
+	a.next = (a.next + 1) % v.N()
+	return t
+}
+
+// Name implements Adversary.
+func (a *RoundRobin) Name() string { return "round-robin" }
+
+// Uniform schedules a uniformly random thread each step, from a PRNG stream
+// independent of the threads' coin flips (the definition of obliviousness).
+type Uniform struct {
+	R *rng.Xoshiro256
+}
+
+// NewUniform returns a Uniform adversary with its own seeded stream.
+func NewUniform(seed uint64) *Uniform { return &Uniform{R: rng.NewXoshiro256(seed)} }
+
+// Next implements Adversary.
+func (a *Uniform) Next(v View) int { return a.R.Intn(v.N()) }
+
+// Name implements Adversary.
+func (a *Uniform) Name() string { return "uniform" }
+
+// BlockStampede realizes the bias construction from Section 6.1's
+// discussion: it schedules all N read steps back to back (so every thread
+// reads the same state), then releases all N updates one at a time before
+// starting the next block. Each block makes the later updaters act on
+// information that is up to N−1 updates stale and biased toward the same low
+// bins ("stampeding"). The draining flag keeps the block structure: without
+// it, the first thread to finish an update would immediately be re-scheduled
+// for a read, degenerating into a sequential schedule that starves the rest.
+type BlockStampede struct {
+	draining bool
+}
+
+// Next implements Adversary.
+func (a *BlockStampede) Next(v View) int {
+	n := v.N()
+	if !a.draining {
+		for t := 0; t < n; t++ {
+			if v.Phase(t) == PhaseRead {
+				return t
+			}
+		}
+		a.draining = true
+	}
+	for t := 0; t < n; t++ {
+		if v.Phase(t) == PhaseUpdate {
+			return t
+		}
+	}
+	// Block fully drained; start the next block of reads.
+	a.draining = false
+	return 0
+}
+
+// Name implements Adversary.
+func (a *BlockStampede) Name() string { return "block-stampede" }
+
+// SlowPoke starves thread 0: after thread 0's read step it schedules Delay
+// steps of the other threads before letting thread 0 update, manufacturing
+// one long-running, high-contention (potentially "bad") operation per cycle.
+// With Delay > C·N those operations exceed Lemma 6.3's good threshold; the
+// pigeonhole bound of Lemma 6.6 still caps how many can land in any window,
+// which the tests verify.
+type SlowPoke struct {
+	Delay int
+
+	victimPending bool
+	wait          int
+	next          int // round-robin cursor over threads 1..N-1
+}
+
+// Next implements Adversary.
+func (a *SlowPoke) Next(v View) int {
+	n := v.N()
+	if n == 1 {
+		return 0
+	}
+	if !a.victimPending {
+		if v.Phase(0) == PhaseRead {
+			a.victimPending = true
+			a.wait = 0
+			return 0 // schedule the victim's read
+		}
+		return 0 // victim mid-operation at start; let it finish
+	}
+	if a.wait < a.Delay {
+		a.wait++
+		t := 1 + a.next%(n-1)
+		a.next++
+		return t
+	}
+	a.victimPending = false
+	return 0 // release the victim's update
+}
+
+// Name implements Adversary.
+func (a *SlowPoke) Name() string { return "slow-poke" }

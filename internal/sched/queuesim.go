@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// QueueSim simulates the concurrent MultiQueue process of Section 7 under an
+// oblivious adversarial scheduler, the queue counterpart of Run:
+//
+//   - enqueue operations take one scheduled step: insert the next label
+//     (labels are handed out in arrival order, modeling the consistent
+//     wall-clock timestamps of Algorithm 2) into a uniformly random queue;
+//   - dequeue operations take two scheduled steps: a read step records the
+//     head labels of two uniformly random queues; the update step deletes
+//     the *current* head of the queue whose recorded head was smaller.
+//     Between the two steps the adversary may schedule arbitrary other
+//     operations, so the comparison may act on stale information and the
+//     deleted element may differ from the one read — exactly the gap between
+//     the sequential process of [3] and the concurrent structure that
+//     Theorem 7.1 closes.
+//
+// Every completed dequeue's rank among the labels present is recorded, so
+// the simulator measures the cost distribution of Theorem 7.1 under
+// schedules that live hardware runs cannot produce.
+type QueueSimConfig struct {
+	N         int   // threads
+	M         int   // queues
+	Ops       int64 // completed dequeues to run
+	Buffer    int   // labels inserted per dequeue-capable thread ahead of time
+	Seed      uint64
+	Adversary Adversary
+	// EnqueueEvery makes each thread perform one enqueue between dequeues,
+	// keeping the buffer steady (default 1; 0 disables refills).
+	EnqueueEvery int
+}
+
+// QueueSimResult aggregates the simulation.
+type QueueSimResult struct {
+	Ranks        *stats.Sample // rank per completed dequeue (1 = exact minimum)
+	WrongQueue   int64         // updates whose chosen queue no longer held the smaller head
+	Dequeues     int64
+	Enqueues     int64
+	MaxHeadGap   int // max over sampled steps of the head-label rank gap
+	FinalPresent int
+}
+
+type qThread struct {
+	phase   Phase
+	i, j    int
+	hi, hj  uint64 // recorded head labels (maxUint64 = empty)
+	pending bool   // dequeue in flight (false = next action enqueues)
+	quota   int    // enqueues owed before the next dequeue
+}
+
+const emptyHead = ^uint64(0)
+
+// queueState is m sorted label slices plus a Fenwick-free rank counter
+// (bins are sorted; rank = sum of binary searches, as in balance.SeqMultiQueue).
+type queueState struct {
+	bins  [][]uint64
+	count int
+}
+
+func (qs *queueState) head(i int) uint64 {
+	if len(qs.bins[i]) == 0 {
+		return emptyHead
+	}
+	return qs.bins[i][0]
+}
+
+func (qs *queueState) rankOf(label uint64) int {
+	smaller := 0
+	for _, b := range qs.bins {
+		smaller += sort.Search(len(b), func(k int) bool { return b[k] >= label })
+	}
+	return smaller + 1
+}
+
+func (qs *queueState) headGapRank() (int, bool) {
+	min, max := emptyHead, uint64(0)
+	seen := 0
+	for i := range qs.bins {
+		h := qs.head(i)
+		if h == emptyHead {
+			continue
+		}
+		if h < min {
+			min = h
+		}
+		if h > max {
+			max = h
+		}
+		seen++
+	}
+	if seen < 2 {
+		return 0, false
+	}
+	return qs.rankOf(max) - qs.rankOf(min), true
+}
+
+// RunQueue executes the MultiQueue simulation. Deterministic per config.
+func RunQueue(cfg QueueSimConfig) QueueSimResult {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		panic("sched: QueueSimConfig needs N > 0 and M > 0")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 16 * cfg.M
+	}
+	if cfg.EnqueueEvery == 0 {
+		cfg.EnqueueEvery = 1
+	}
+	qs := &queueState{bins: make([][]uint64, cfg.M)}
+	threads := make([]qThread, cfg.N)
+	r := rng.NewXoshiro256(cfg.Seed)
+	res := QueueSimResult{Ranks: stats.NewSample(int(cfg.Ops))}
+	nextLabel := uint64(1)
+
+	enqueue := func() {
+		i := r.Intn(cfg.M)
+		qs.bins[i] = append(qs.bins[i], nextLabel)
+		nextLabel++
+		qs.count++
+		res.Enqueues++
+	}
+	// Prefill (sequential, before the clock starts).
+	for k := 0; k < cfg.Buffer; k++ {
+		enqueue()
+	}
+
+	view := &queueView{threads: threads, n: cfg.N}
+	for res.Dequeues < cfg.Ops {
+		t := cfg.Adversary.Next(view)
+		if t < 0 || t >= cfg.N {
+			panic("sched: adversary returned invalid thread id")
+		}
+		view.steps++
+		th := &threads[t]
+		// Owed enqueues execute as single steps.
+		if !th.pending && th.quota > 0 {
+			enqueue()
+			th.quota--
+			continue
+		}
+		if th.phase == PhaseRead {
+			th.i, th.j = r.Intn(cfg.M), r.Intn(cfg.M)
+			th.hi, th.hj = qs.head(th.i), qs.head(th.j)
+			th.phase = PhaseUpdate
+			th.pending = true
+			continue
+		}
+		// Update step: delete the current head of the queue whose recorded
+		// head was smaller (ties and double-empty go to i, matching
+		// Algorithm 2's "if pi > pj: i = j").
+		pick := th.i
+		if th.hj < th.hi {
+			pick = th.j
+		}
+		other := th.i + th.j - pick
+		if qs.head(pick) > qs.head(other) {
+			res.WrongQueue++
+		}
+		if len(qs.bins[pick]) > 0 {
+			label := qs.bins[pick][0]
+			res.Ranks.AddInt(qs.rankOf(label))
+			qs.bins[pick] = qs.bins[pick][1:]
+			qs.count--
+			res.Dequeues++
+			if res.Dequeues%1024 == 0 {
+				if g, ok := qs.headGapRank(); ok && g > res.MaxHeadGap {
+					res.MaxHeadGap = g
+				}
+			}
+		}
+		// An empty pick is a wasted dequeue attempt; the thread simply
+		// retries with fresh choices (as the real structure does).
+		th.phase = PhaseRead
+		th.pending = false
+		th.quota += cfg.EnqueueEvery
+	}
+	res.FinalPresent = qs.count
+	return res
+}
+
+// queueView adapts the queue simulation to the Adversary's View interface.
+type queueView struct {
+	threads []qThread
+	n       int
+	steps   int64
+}
+
+func (v *queueView) N() int            { return v.n }
+func (v *queueView) Steps() int64      { return v.steps }
+func (v *queueView) Phase(t int) Phase { return v.threads[t].phase }

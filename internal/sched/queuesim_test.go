@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestQueueSimDeterministic(t *testing.T) {
+	mk := func() QueueSimResult {
+		return RunQueue(QueueSimConfig{
+			N: 4, M: 32, Ops: 20_000, Seed: 1, Adversary: NewUniform(2), Buffer: 512,
+		})
+	}
+	a := mk()
+	b := mk()
+	if a.Ranks.Mean() != b.Ranks.Mean() || a.WrongQueue != b.WrongQueue {
+		t.Fatal("same-seed queue simulations diverged")
+	}
+}
+
+func TestQueueSimConservation(t *testing.T) {
+	res := RunQueue(QueueSimConfig{
+		N: 4, M: 16, Ops: 10_000, Seed: 3, Adversary: &RoundRobin{}, Buffer: 256,
+	})
+	if res.Dequeues != 10_000 {
+		t.Fatalf("dequeues = %d", res.Dequeues)
+	}
+	if got := int(res.Enqueues) - int(res.Dequeues); got != res.FinalPresent {
+		t.Fatalf("present %d != enqueues-dequeues %d", res.FinalPresent, got)
+	}
+	if res.Ranks.N() != 10_000 {
+		t.Fatalf("rank samples = %d", res.Ranks.N())
+	}
+}
+
+// TestQueueSimTheorem71UnderAdversaries: the concurrent MultiQueue process
+// keeps E[rank] = O(m) and tail O(m log m) under every adversary when the
+// buffer is healthy — the claim of Theorem 7.1, measured directly.
+func TestQueueSimTheorem71UnderAdversaries(t *testing.T) {
+	n, m := 4, 32
+	for _, adv := range []Adversary{
+		&RoundRobin{}, NewUniform(5), &BlockStampede{}, &SlowPoke{Delay: 300},
+	} {
+		res := RunQueue(QueueSimConfig{
+			N: n, M: m, Ops: 30_000, Seed: 6, Adversary: adv, Buffer: 64 * m,
+		})
+		if mean := res.Ranks.Mean(); mean > 4*float64(m) {
+			t.Fatalf("%s: mean rank %v not O(m)", adv.Name(), mean)
+		}
+		if p999 := res.Ranks.Quantile(0.999); p999 > 4*float64(m)*log2(m) {
+			t.Fatalf("%s: p99.9 rank %v not O(m log m)", adv.Name(), p999)
+		}
+	}
+}
+
+// TestQueueSimSequentialMatchesSeqProcessScale: with one thread the
+// simulator should behave like the sequential process of [3] (same rank
+// scale).
+func TestQueueSimSequentialMatchesSeqProcessScale(t *testing.T) {
+	m := 32
+	res := RunQueue(QueueSimConfig{
+		N: 1, M: m, Ops: 20_000, Seed: 7, Adversary: &RoundRobin{}, Buffer: 64 * m,
+	})
+	if res.WrongQueue != 0 {
+		t.Fatalf("single-threaded run had %d wrong-queue deletions", res.WrongQueue)
+	}
+	if mean := res.Ranks.Mean(); mean > 2*float64(m) {
+		t.Fatalf("sequential mean rank %v above 2m", mean)
+	}
+}
+
+// TestQueueSimStalenessCausesWrongQueues: under concurrency the recorded
+// heads go stale, so some deletions hit the queue that no longer holds the
+// smaller head — the phenomenon Section 7 inherits from Section 6.
+func TestQueueSimStalenessCausesWrongQueues(t *testing.T) {
+	res := RunQueue(QueueSimConfig{
+		N: 8, M: 16, Ops: 30_000, Seed: 8, Adversary: &BlockStampede{}, Buffer: 1024,
+	})
+	if res.WrongQueue == 0 {
+		t.Fatal("no wrong-queue deletions under stampede; staleness model broken")
+	}
+	// Quality still holds.
+	if mean := res.Ranks.Mean(); mean > 5*16 {
+		t.Fatalf("mean rank %v degraded too far", mean)
+	}
+}
+
+func TestQueueSimHeadGapBounded(t *testing.T) {
+	m := 32
+	res := RunQueue(QueueSimConfig{
+		N: 4, M: m, Ops: 30_000, Seed: 9, Adversary: NewUniform(10), Buffer: 64 * m,
+	})
+	if res.MaxHeadGap > 8*m*int(log2(m)) {
+		t.Fatalf("head gap rank %d beyond envelope", res.MaxHeadGap)
+	}
+}
+
+func TestQueueSimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	RunQueue(QueueSimConfig{N: 0, M: 1, Adversary: &RoundRobin{}})
+}

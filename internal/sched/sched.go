@@ -1,0 +1,202 @@
+// Package sched simulates the concurrent two-choice process of Section 6.1
+// under an oblivious adversarial scheduler.
+//
+// Go's runtime scheduler cannot be steered adversarially, so the analysis
+// quantities of Section 6 — per-operation contention ℓ_t, good vs bad steps,
+// wrong-bin updates, the potential Γ(t) — are not observable in live runs.
+// This package reifies the paper's execution model instead: n simulated
+// threads each repeatedly execute an increment operation consisting of two
+// scheduled shared-memory steps,
+//
+//	read step:   draw bins i, j uniformly; record their current weights
+//	             (the paper's footnote 3 collapses both reads to one point)
+//	update step: increment the bin whose *recorded* weight was smaller
+//
+// and an Adversary chooses which thread takes its next step. Time is the
+// number of scheduled steps, matching the paper's model. Obliviousness is
+// enforced structurally: adversaries receive a View exposing only schedule
+// facts (step count, thread phases), never bin weights or random choices.
+package sched
+
+import (
+	"repro/internal/balance"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Phase is a simulated thread's position inside its current operation.
+type Phase int
+
+const (
+	// PhaseRead means the thread's next step performs its reads.
+	PhaseRead Phase = iota
+	// PhaseUpdate means the thread's next step performs its increment.
+	PhaseUpdate
+)
+
+// View is the schedule-only information an oblivious adversary may consult.
+type View interface {
+	// N returns the number of threads.
+	N() int
+	// Steps returns the number of steps scheduled so far.
+	Steps() int64
+	// Phase returns thread t's current phase.
+	Phase(t int) Phase
+}
+
+// Adversary picks the next thread to schedule. Implementations must base
+// decisions only on the View (obliviousness).
+type Adversary interface {
+	Next(v View) int
+	Name() string
+}
+
+// Config describes a simulation.
+type Config struct {
+	N           int    // threads
+	M           int    // bins
+	Ops         int64  // total increment operations to complete
+	Seed        uint64 // PRNG seed for the threads' random choices
+	Adversary   Adversary
+	Alpha       float64 // potential parameter α (0 disables Γ sampling)
+	C           int     // the constant C for the Lemma 6.6 window check
+	SampleEvery int64   // sample balance stats every this many completed ops
+}
+
+// Result aggregates the simulation's measurements.
+type Result struct {
+	Samples        []balance.SamplePoint // indexed by completed operations
+	Final          *balance.State
+	WrongChoices   int64           // updates that hit the more loaded bin at update time
+	Contention     stats.Histogram // ℓ_t per completed operation
+	MaxWindowBad   int             // max over all Cn-op windows of #(ops with ℓ > Cn)
+	LemmaHolds     bool            // MaxWindowBad < N (Lemma 6.6)
+	GoodOps        int64           // ops with ℓ <= Cn
+	BadOps         int64           // ops with ℓ > Cn
+	CompletedOps   int64
+	ScheduledSteps int64
+}
+
+type opState struct {
+	phase        Phase
+	i, j         int
+	vi, vj       float64
+	startUpdates int64 // completed updates when the read step ran
+}
+
+type sim struct {
+	cfg     Config
+	st      *balance.State
+	threads []opState
+	r       *rng.Xoshiro256
+	updates int64
+	steps   int64
+}
+
+// N implements View.
+func (s *sim) N() int { return s.cfg.N }
+
+// Steps implements View.
+func (s *sim) Steps() int64 { return s.steps }
+
+// Phase implements View.
+func (s *sim) Phase(t int) Phase { return s.threads[t].phase }
+
+// Run executes the simulation. Deterministic for a fixed config.
+func Run(cfg Config) Result {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		panic("sched: Config needs N > 0 and M > 0")
+	}
+	if cfg.C <= 0 {
+		cfg.C = 4
+	}
+	s := &sim{
+		cfg:     cfg,
+		st:      balance.NewState(cfg.M),
+		threads: make([]opState, cfg.N),
+		r:       rng.NewXoshiro256(cfg.Seed),
+	}
+	res := Result{LemmaHolds: true}
+
+	// Sliding Lemma 6.6 window over completed ops: window size C·N, counting
+	// ops whose contention exceeded C·N.
+	window := cfg.C * cfg.N
+	thresh := int64(cfg.C) * int64(cfg.N)
+	ring := make([]bool, window) // bad-flag per op in the current window
+	ringIdx, inWindowBad := 0, 0
+
+	sample := func() {
+		p := balance.SamplePoint{Step: s.updates, Gap: s.st.Gap()}
+		min, max := s.st.MinMax()
+		mu := s.st.Mean()
+		p.MaxAboveMean = max - mu
+		p.MeanAboveMin = mu - min
+		if cfg.Alpha > 0 {
+			_, _, p.Gamma = s.st.Potential(cfg.Alpha)
+		}
+		res.Samples = append(res.Samples, p)
+	}
+
+	for s.updates < cfg.Ops {
+		t := cfg.Adversary.Next(s)
+		if t < 0 || t >= cfg.N {
+			panic("sched: adversary returned invalid thread id")
+		}
+		s.steps++
+		op := &s.threads[t]
+		if op.phase == PhaseRead {
+			op.i, op.j = s.r.Intn(cfg.M), s.r.Intn(cfg.M)
+			op.vi, op.vj = s.st.Weight(op.i), s.st.Weight(op.j)
+			op.startUpdates = s.updates
+			op.phase = PhaseUpdate
+			continue
+		}
+		// Update step: act on the recorded (possibly stale) values.
+		dest := op.i
+		if op.vj < op.vi {
+			dest = op.j
+		}
+		// Wrong choice: the chosen bin is strictly heavier than the
+		// alternative at the moment of the update.
+		other := op.i + op.j - dest
+		if s.st.Weight(dest) > s.st.Weight(other) {
+			res.WrongChoices++
+		}
+		s.st.Add(dest, 1)
+		s.updates++
+		op.phase = PhaseRead
+
+		// Contention bookkeeping.
+		l := s.updates - 1 - op.startUpdates
+		res.Contention.Add(uint64(l))
+		bad := l > thresh
+		if bad {
+			res.BadOps++
+		} else {
+			res.GoodOps++
+		}
+		if s.updates > int64(window) {
+			if ring[ringIdx] {
+				inWindowBad--
+			}
+		}
+		ring[ringIdx] = bad
+		if bad {
+			inWindowBad++
+		}
+		ringIdx = (ringIdx + 1) % window
+		if s.updates >= int64(window) && inWindowBad > res.MaxWindowBad {
+			res.MaxWindowBad = inWindowBad
+		}
+
+		if cfg.SampleEvery > 0 && s.updates%cfg.SampleEvery == 0 {
+			sample()
+		}
+	}
+	sample()
+	res.Final = s.st
+	res.CompletedOps = s.updates
+	res.ScheduledSteps = s.steps
+	res.LemmaHolds = res.MaxWindowBad < cfg.N
+	return res
+}

@@ -1,0 +1,153 @@
+// Package skiplist provides a sequential skiplist ordered by priority, the
+// third backing store for MultiQueue per-queue storage (ablation A4).
+//
+// Skiplists are the classic substrate for concurrent priority queues (Shavit
+// & Lotan; the SprayList), which is why the paper's related work revolves
+// around them. Here the skiplist is sequential — internal/cpq adds the lock —
+// but it keeps the min element at the head, making Peek O(1) and DeleteMin
+// O(1) expected, the operations Algorithm 2's two-choice dequeue performs
+// most.
+package skiplist
+
+import "repro/internal/rng"
+
+const maxLevel = 24 // supports ~16M elements at p = 1/2
+
+// Item mirrors heap.Item to avoid a dependency cycle; internal/cpq converts.
+type Item struct {
+	Priority uint64
+	Value    uint64
+}
+
+type node struct {
+	item Item
+	next [maxLevel]*node
+}
+
+// List is a sequential skiplist priority queue. Create with New.
+type List struct {
+	head  *node // sentinel; head.next[0] is the minimum
+	level int   // highest level in use
+	n     int
+	r     *rng.Xoshiro256
+	free  *node // recycled nodes, chained through next[0]
+}
+
+// New returns an empty skiplist whose level coin flips are drawn from the
+// given seed.
+func New(seed uint64) *List {
+	return &List{head: &node{}, level: 1, r: rng.NewXoshiro256(seed)}
+}
+
+// Len returns the number of stored items.
+func (l *List) Len() int { return l.n }
+
+func (l *List) alloc(it Item) *node {
+	nd := l.free
+	if nd == nil {
+		nd = &node{}
+	} else {
+		l.free = nd.next[0]
+	}
+	nd.item = it
+	for i := range nd.next {
+		nd.next[i] = nil
+	}
+	return nd
+}
+
+func (l *List) randomLevel() int {
+	lvl := 1
+	// Geometric(1/2) levels, one random word per insert.
+	bits := l.r.Next()
+	for lvl < maxLevel && bits&1 == 1 {
+		lvl++
+		bits >>= 1
+	}
+	return lvl
+}
+
+// Push inserts an item in O(log n) expected time.
+func (l *List) Push(it Item) {
+	var update [maxLevel]*node
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].item.Priority < it.Priority {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		for i := l.level; i < lvl; i++ {
+			update[i] = l.head
+		}
+		l.level = lvl
+	}
+	nd := l.alloc(it)
+	for i := 0; i < lvl; i++ {
+		nd.next[i] = update[i].next[i]
+		update[i].next[i] = nd
+	}
+	l.n++
+}
+
+// Peek returns the minimum item without removing it.
+func (l *List) Peek() (Item, bool) {
+	if l.head.next[0] == nil {
+		return Item{}, false
+	}
+	return l.head.next[0].item, true
+}
+
+// Pop removes and returns the minimum item in O(1) expected time (the head
+// node is unlinked from every level it occupies).
+func (l *List) Pop() (Item, bool) {
+	nd := l.head.next[0]
+	if nd == nil {
+		return Item{}, false
+	}
+	for i := 0; i < l.level; i++ {
+		if l.head.next[i] == nd {
+			l.head.next[i] = nd.next[i]
+		}
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	it := nd.item
+	nd.next[0] = l.free
+	l.free = nd
+	l.n--
+	return it, true
+}
+
+// Verify checks that every level is sorted and that level i+1 is a
+// subsequence of level i; tests call it after randomized workloads.
+func (l *List) Verify() bool {
+	for i := 0; i < l.level; i++ {
+		prev := uint64(0)
+		first := true
+		for x := l.head.next[i]; x != nil; x = x.next[i] {
+			if !first && x.item.Priority < prev {
+				return false
+			}
+			prev = x.item.Priority
+			first = false
+		}
+	}
+	// Subsequence property: every node at level i>0 must be reachable at
+	// level 0.
+	at0 := map[*node]bool{}
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		at0[x] = true
+	}
+	for i := 1; i < l.level; i++ {
+		for x := l.head.next[i]; x != nil; x = x.next[i] {
+			if !at0[x] {
+				return false
+			}
+		}
+	}
+	return true
+}

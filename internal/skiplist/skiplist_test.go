@@ -1,0 +1,165 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New(1)
+	if l.Len() != 0 {
+		t.Fatal("fresh list not empty")
+	}
+	if _, ok := l.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	if _, ok := l.Peek(); ok {
+		t.Fatal("Peek on empty returned ok")
+	}
+}
+
+func TestSortedPops(t *testing.T) {
+	l := New(2)
+	in := []uint64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	for _, p := range in {
+		l.Push(Item{Priority: p, Value: p + 100})
+	}
+	for want := uint64(0); want < 10; want++ {
+		it, ok := l.Pop()
+		if !ok || it.Priority != want || it.Value != want+100 {
+			t.Fatalf("Pop = %+v ok=%v, want %d", it, ok, want)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatal("list not empty after draining")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	l := New(3)
+	l.Push(Item{Priority: 5})
+	l.Push(Item{Priority: 2})
+	it, ok := l.Peek()
+	if !ok || it.Priority != 2 {
+		t.Fatalf("Peek = %+v", it)
+	}
+	if l.Len() != 2 {
+		t.Fatal("Peek removed an item")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 5; i++ {
+		l.Push(Item{Priority: 3, Value: uint64(i)})
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		it, ok := l.Pop()
+		if !ok || it.Priority != 3 {
+			t.Fatalf("pop %d = %+v", i, it)
+		}
+		if seen[it.Value] {
+			t.Fatalf("value %d popped twice", it.Value)
+		}
+		seen[it.Value] = true
+	}
+}
+
+func TestAgainstReferenceQuick(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		l := New(seed)
+		var ref []uint64
+		for _, op := range ops {
+			if op%3 != 0 || len(ref) == 0 {
+				p := uint64(op) >> 2
+				l.Push(Item{Priority: p})
+				ref = append(ref, p)
+				sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+			} else {
+				it, ok := l.Pop()
+				if !ok || it.Priority != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+			if l.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyAfterRandomOps(t *testing.T) {
+	l := New(5)
+	r := rng.NewXoshiro256(6)
+	for i := 0; i < 5000; i++ {
+		if r.Bool() || l.Len() == 0 {
+			l.Push(Item{Priority: r.Uint64n(1000)})
+		} else {
+			l.Pop()
+		}
+		if i%500 == 0 && !l.Verify() {
+			t.Fatalf("structure invariant violated after %d ops", i)
+		}
+	}
+	if !l.Verify() {
+		t.Fatal("final verify failed")
+	}
+}
+
+func TestNodeRecycling(t *testing.T) {
+	l := New(7)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			l.Push(Item{Priority: uint64(i * round)})
+		}
+		for i := 0; i < 20; i++ {
+			if _, ok := l.Pop(); !ok {
+				t.Fatal("pop failed during recycling stress")
+			}
+		}
+	}
+	if l.Len() != 0 || !l.Verify() {
+		t.Fatal("list corrupt after recycling stress")
+	}
+}
+
+func TestLargeScaleOrder(t *testing.T) {
+	l := New(8)
+	r := rng.NewXoshiro256(9)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l.Push(Item{Priority: r.Next()})
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		it, ok := l.Pop()
+		if !ok {
+			t.Fatalf("ran out at %d", i)
+		}
+		if it.Priority < prev {
+			t.Fatalf("out of order at %d: %d < %d", i, it.Priority, prev)
+		}
+		prev = it.Priority
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	l := New(1)
+	r := rng.NewXoshiro256(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Push(Item{Priority: r.Next()})
+		if l.Len() > 1000 {
+			l.Pop()
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Var() != 2.5 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty stream should report zeros")
+	}
+}
+
+func TestStreamMatchesNaiveQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		var s Stream
+		for i, v := range raw {
+			xs[i] = float64(v)
+			s.Add(xs[i])
+		}
+		m, v := naiveMeanVar(xs)
+		return almostEq(s.Mean(), m, 1e-9) && almostEq(s.Var(), v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEquivalentQuick(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var whole, left, right Stream
+		for _, v := range a {
+			whole.Add(float64(v))
+			left.Add(float64(v))
+		}
+		for _, v := range b {
+			whole.Add(float64(v))
+			right.Add(float64(v))
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEq(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(left.Var(), whole.Var(), 1e-9) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEmpty(t *testing.T) {
+	var a, b Stream
+	a.Add(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed N")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.AddInt(i)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); math.Abs(q-50.5) > 1e-9 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := s.Quantile(0.99); math.Abs(q-99.01) > 1e-9 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if s.Max() != 100 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if m := s.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(4)
+	if s.Quantile(0.5) != 0 || s.Max() != 0 || s.Mean() != 0 || s.TailFraction(1) != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleTailFraction(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 10; i++ {
+		s.AddInt(i)
+	}
+	if f := s.TailFraction(7); math.Abs(f-0.3) > 1e-9 {
+		t.Fatalf("TailFraction(7) = %v", f)
+	}
+	if f := s.TailFraction(10); f != 0 {
+		t.Fatalf("TailFraction(max) = %v", f)
+	}
+	if f := s.TailFraction(0); f != 1 {
+		t.Fatalf("TailFraction(0) = %v", f)
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	a, b := NewSample(0), NewSample(0)
+	a.Add(1)
+	b.Add(3)
+	a.Merge(b)
+	if a.N() != 2 || a.Max() != 3 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestSampleQuantileAfterAdd(t *testing.T) {
+	// Adding after a quantile query must re-sort.
+	s := NewSample(0)
+	s.Add(5)
+	_ = s.Quantile(0.5)
+	s.Add(1)
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("quantile after Add = %v, want 1", q)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(1024)
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	out := h.String()
+	for _, want := range []string{"[0,1): 1", "[1,2): 1", "[2,4): 2", "[1024,2048): 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(5)
+	b.Add(5)
+	b.Add(100)
+	a.Merge(&b)
+	if a.N() != 3 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, math.MaxUint64: 64}
+	for v, want := range cases {
+		if g := bitLen(v); g != want {
+			t.Fatalf("bitLen(%d) = %d, want %d", v, g, want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if v := Throughput(2_000_000, 2); v != 1 {
+		t.Fatalf("Throughput = %v", v)
+	}
+	if v := Throughput(100, 0); v != 0 {
+		t.Fatalf("Throughput with zero time = %v", v)
+	}
+}

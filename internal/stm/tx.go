@@ -1,0 +1,337 @@
+package stm
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/rng"
+)
+
+// AbortCause classifies why a transaction aborted, for the experiment's
+// abort-rate breakdowns.
+type AbortCause int
+
+// Abort causes.
+const (
+	// AbortReadLocked: a read found the slot write-locked.
+	AbortReadLocked AbortCause = iota
+	// AbortReadVersion: a read found a slot version newer than rv — with the
+	// relaxed clock this includes reads of objects stamped "in the future".
+	AbortReadVersion
+	// AbortReadRace: the two-load postvalidation saw the lock word change.
+	AbortReadRace
+	// AbortWriteLocked: commit could not acquire a write lock.
+	AbortWriteLocked
+	// AbortValidation: commit-time read-set revalidation failed.
+	AbortValidation
+	numAbortCauses
+)
+
+// String names the cause.
+func (c AbortCause) String() string {
+	switch c {
+	case AbortReadLocked:
+		return "read-locked"
+	case AbortReadVersion:
+		return "read-version"
+	case AbortReadRace:
+		return "read-race"
+	case AbortWriteLocked:
+		return "write-locked"
+	case AbortValidation:
+		return "validation"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts one worker's transaction outcomes.
+type Stats struct {
+	Commits uint64
+	Aborts  [numAbortCauses]uint64
+}
+
+// TotalAborts sums all abort causes.
+func (s *Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, a := range s.Aborts {
+		t += a
+	}
+	return t
+}
+
+// AbortRate returns aborts / (commits + aborts).
+func (s *Stats) AbortRate() float64 {
+	a := float64(s.TotalAborts())
+	tot := a + float64(s.Commits)
+	if tot == 0 {
+		return 0
+	}
+	return a / tot
+}
+
+// String renders the stats on one line.
+func (s *Stats) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d (rate=%.3f)", s.Commits, s.TotalAborts(), s.AbortRate())
+}
+
+type readEntry struct {
+	idx int
+	ver uint64
+}
+
+type writeEntry struct {
+	idx int
+	val uint64
+}
+
+// Tx is a TL2 transaction context owned by a single goroutine and reused
+// across transactions (read/write sets keep their capacity, so steady-state
+// transactions allocate nothing).
+type Tx struct {
+	arr      *Array
+	clk      ClockHandle
+	r        *rng.Xoshiro256
+	rv       uint64
+	tmax     uint64
+	cause    AbortCause
+	readOnly bool
+	reads    []readEntry
+	wset     []writeEntry
+	locks    []int // indices of acquired write locks, in lock order
+	Stats    Stats
+}
+
+// NewTx returns a transaction context for arr using the given clock handle.
+// seed feeds the backoff jitter.
+func NewTx(arr *Array, clk ClockHandle, seed uint64) *Tx {
+	return &Tx{
+		arr:   arr,
+		clk:   clk,
+		r:     rng.NewXoshiro256(seed),
+		reads: make([]readEntry, 0, 32),
+		wset:  make([]writeEntry, 0, 8),
+		locks: make([]int, 0, 8),
+	}
+}
+
+// Begin starts a new transaction: sample the global clock for rv and clear
+// the read and write sets.
+func (t *Tx) Begin() {
+	t.rv = t.clk.Sample()
+	t.tmax = t.rv
+	t.readOnly = false
+	t.reads = t.reads[:0]
+	t.wset = t.wset[:0]
+}
+
+// abort records the cause and returns ErrAborted. Read-version aborts help
+// the clock forward (see ClockHandle.Help): the slot we failed to read is
+// stamped in the future, and waiting for the future only terminates if the
+// clock keeps moving.
+func (t *Tx) abort(cause AbortCause) error {
+	t.cause = cause
+	t.Stats.Aborts[cause]++
+	if cause == AbortReadVersion {
+		t.clk.Help()
+	}
+	return ErrAborted
+}
+
+// Load transactionally reads slot i. It returns ErrAborted if the slot is
+// locked, was written after rv, or changed under the two-load
+// postvalidation — TL2's invisible-reader protocol.
+func (t *Tx) Load(i int) (uint64, error) {
+	// Read-your-writes: the write set is small (the paper's workload writes
+	// two slots), so a linear scan beats a map.
+	for k := len(t.wset) - 1; k >= 0; k-- {
+		if t.wset[k].idx == i {
+			return t.wset[k].val, nil
+		}
+	}
+	w1 := t.arr.locks[i].load()
+	if lockedBit(w1) {
+		return 0, t.abort(AbortReadLocked)
+	}
+	val := t.arr.vals[i].Load()
+	w2 := t.arr.locks[i].load()
+	if w1 != w2 {
+		return 0, t.abort(AbortReadRace)
+	}
+	ver := versionOf(w1)
+	if ver > t.rv {
+		return 0, t.abort(AbortReadVersion)
+	}
+	if ver > t.tmax {
+		t.tmax = ver
+	}
+	if !t.readOnly {
+		t.reads = append(t.reads, readEntry{idx: i, ver: ver})
+	}
+	return val, nil
+}
+
+// Store buffers a transactional write of val to slot i (redo-log style; the
+// memory is untouched until commit). Store inside RunReadOnly panics.
+func (t *Tx) Store(i int, val uint64) {
+	if t.readOnly {
+		panic("stm: Store inside a read-only transaction")
+	}
+	for k := range t.wset {
+		if t.wset[k].idx == i {
+			t.wset[k].val = val
+			return
+		}
+	}
+	t.wset = append(t.wset, writeEntry{idx: i, val: val})
+}
+
+// inWriteSet reports whether slot i is in the write set.
+func (t *Tx) inWriteSet(i int) bool {
+	for k := range t.wset {
+		if t.wset[k].idx == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit attempts to commit. Read-only transactions commit immediately
+// (their reads were validated against rv as they happened). Update
+// transactions lock the write set in index order, obtain wv from the clock,
+// revalidate the read set, publish, and release locks at version wv.
+func (t *Tx) Commit() error {
+	if len(t.wset) == 0 {
+		t.Stats.Commits++
+		return nil
+	}
+	// Lock acquisition in global index order prevents deadlock between
+	// concurrent committers; TL2's bounded-spin acquisition is replaced by
+	// immediate abort + randomized backoff in Run, which behaves better on
+	// oversubscribed schedulers. Write sets are tiny (two entries in the
+	// paper's workload), so insertion sort avoids sort.Slice's allocation.
+	t.locks = t.locks[:0]
+	for k := 1; k < len(t.wset); k++ {
+		e := t.wset[k]
+		j := k - 1
+		for j >= 0 && t.wset[j].idx > e.idx {
+			t.wset[j+1] = t.wset[j]
+			j--
+		}
+		t.wset[j+1] = e
+	}
+	for k := range t.wset {
+		i := t.wset[k].idx
+		w := t.arr.locks[i].load()
+		if lockedBit(w) || !t.arr.locks[i].tryLock(w) {
+			t.releaseLocks()
+			return t.abort(AbortWriteLocked)
+		}
+		t.locks = append(t.locks, i)
+		if v := versionOf(w); v > t.tmax {
+			t.tmax = v
+		}
+	}
+	wv := t.clk.CommitVersion(t.tmax)
+	// TL2 fast path: with an exact clock, wv == rv+1 implies no concurrent
+	// commit intervened, so the read set is still valid. The relaxed clock
+	// never takes this path (wv jumps by Δ).
+	if wv != t.rv+1 {
+		for _, re := range t.reads {
+			w := t.arr.locks[re.idx].load()
+			if lockedBit(w) && !t.inWriteSet(re.idx) {
+				t.releaseLocks()
+				return t.abort(AbortValidation)
+			}
+			if versionOf(w) != re.ver {
+				// Re-written since we read it. Comparing against the
+				// recorded version (rather than rv) also catches relaxed-
+				// clock writers whose wv landed at or below our rv, and
+				// self-locked slots keep their pre-lock version, so they
+				// pass.
+				t.releaseLocks()
+				return t.abort(AbortValidation)
+			}
+		}
+	}
+	for k := range t.wset {
+		t.arr.vals[t.wset[k].idx].Store(t.wset[k].val)
+	}
+	for _, i := range t.locks {
+		t.arr.locks[i].unlockTo(wv)
+	}
+	t.locks = t.locks[:0]
+	t.Stats.Commits++
+	return nil
+}
+
+// releaseLocks restores the pre-lock words of all acquired locks (abort
+// path). The pre-lock version is the current word minus the lock bit.
+func (t *Tx) releaseLocks() {
+	for _, i := range t.locks {
+		w := t.arr.locks[i].load()
+		t.arr.locks[i].unlockRestore(w &^ 1)
+	}
+	t.locks = t.locks[:0]
+}
+
+// Run executes fn as a transaction, retrying on ErrAborted with randomized
+// bounded backoff. fn must perform all access through Load/Store and return
+// any Load error unchanged. Any other error cancels the transaction without
+// retry.
+func (t *Tx) Run(fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		t.Begin()
+		err := fn(t)
+		if err == nil {
+			err = t.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		if err != ErrAborted {
+			return err
+		}
+		t.backoff(attempt)
+	}
+}
+
+// RunReadOnly executes fn as a read-only transaction using TL2's read-only
+// fast path: per-read rv validation only, no read-set bookkeeping, no
+// commit-time work, no allocation. Retries on ErrAborted like Run. fn must
+// not call Store.
+//
+// With an exact clock the snapshot observed is always consistent; with the
+// relaxed MultiCounter clock consistency holds w.h.p. only (Section 8's
+// trade-off) — the Δ slack must exceed the clock skew for a concurrent
+// writer's version to be unable to slip at or below this transaction's rv.
+func (t *Tx) RunReadOnly(fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		t.Begin()
+		t.readOnly = true
+		err := fn(t)
+		if err == nil {
+			t.Stats.Commits++
+			return nil
+		}
+		if err != ErrAborted {
+			return err
+		}
+		t.backoff(attempt)
+	}
+}
+
+// backoff spins for a randomized, exponentially growing number of PRNG
+// draws (cheap, memory-free work the compiler cannot elide), yielding once
+// saturated.
+func (t *Tx) backoff(attempt int) {
+	if attempt > 10 {
+		attempt = 10
+		runtime.Gosched()
+	}
+	max := uint64(1) << uint(attempt)
+	n := t.r.Uint64n(max + 1)
+	for i := uint64(0); i < n; i++ {
+		t.r.Next()
+	}
+}
