@@ -30,6 +30,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/cpq"
 	"repro/internal/dlin"
+	"repro/internal/heap"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/stm"
@@ -319,6 +320,75 @@ func BenchmarkAblationBacking(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- Sticky/batched MultiQueue fast path (cmd/benchall's sweep, in-suite) ---
+
+// BenchmarkMultiQueueStickyBatched compares the per-op baseline against the
+// sticky, batched, and combined fast-path modes under parallel
+// enqueue+dequeue pairs. cmd/benchall runs the full machine-readable sweep;
+// this keeps the comparison one `go test -bench` away and guards the fast
+// path against regression by per-op numbers.
+func BenchmarkMultiQueueStickyBatched(b *testing.B) {
+	for _, cfg := range []struct {
+		name         string
+		stick, batch int
+	}{
+		{"baseline", 1, 1},
+		{"sticky8", 8, 1},
+		{"batch8", 1, 8},
+		{"sticky8-batch8", 8, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			q := core.NewMultiQueue(core.MultiQueueConfig{
+				Queues: 8 * runtime.GOMAXPROCS(0), Seed: 17,
+				Stickiness: cfg.stick, Batch: cfg.batch,
+			})
+			pre := q.NewHandle(18)
+			for i := 0; i < 8192; i++ {
+				pre.Enqueue(uint64(i))
+			}
+			pre.Flush()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				h := q.NewHandle(nextSeed())
+				for pb.Next() {
+					h.Enqueue(1)
+					h.Dequeue()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCPQBatchOps isolates the cpq layer: per-element Add/DeleteMin
+// against AddBatch/DeleteMinUpTo amortising one lock over 8 elements.
+func BenchmarkCPQBatchOps(b *testing.B) {
+	const k = 8
+	b.Run("per-op", func(b *testing.B) {
+		q := cpq.New(cpq.BackingBinary, 1024, 19)
+		for i := 0; i < b.N; i++ {
+			q.Add(uint64(i), uint64(i))
+			if i%k == k-1 {
+				for j := 0; j < k; j++ {
+					q.DeleteMin()
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		q := cpq.New(cpq.BackingBinary, 1024, 19)
+		batch := make([]heap.Item, 0, k)
+		var out []heap.Item
+		for i := 0; i < b.N; i++ {
+			batch = append(batch, heap.Item{Priority: uint64(i), Value: uint64(i)})
+			if len(batch) == k {
+				q.AddBatch(batch)
+				batch = batch[:0]
+				out = q.DeleteMinUpTo(k, out[:0])
+			}
+		}
+	})
 }
 
 // --- MultiQueue vs coarse-locked exact PQ (Section 7 throughput shape) -----

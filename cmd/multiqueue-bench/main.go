@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dlin"
 	"repro/internal/harness"
+	"repro/internal/quality"
 	"repro/internal/stats"
 )
 
@@ -72,23 +73,8 @@ func main() {
 
 func runRanks(m, ops int, seed uint64, csv bool) {
 	q := core.NewMultiQueue(core.MultiQueueConfig{Queues: m, Seed: seed})
-	h := q.NewHandle(seed + 1)
 	const buffer = 4096
-	fw := dlin.NewFenwick(buffer + ops + 1)
-	for i := 0; i < buffer; i++ {
-		fw.Add(int(h.Enqueue(0)), 1)
-	}
-	sample := stats.NewSample(ops)
-	for i := 0; i < ops; i++ {
-		fw.Add(int(h.Enqueue(0)), 1)
-		it, ok := h.Dequeue()
-		if !ok {
-			break
-		}
-		rank := fw.PrefixSum(int(it.Priority))
-		fw.Add(int(it.Priority), -1)
-		sample.AddInt(int(rank - 1)) // rank error: 0 = exact
-	}
+	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), buffer, ops)
 	tb := harness.NewTable(
 		fmt.Sprintf("Theorem 7.1: MultiQueue dequeue rank error (m=%d, single thread)", m),
 		"metric", "value", "theory-scale")

@@ -11,7 +11,14 @@
 //     thread count (Theorem 6.1).
 //   - MultiQueue — a relaxed FIFO/priority queue (Algorithm 2). Dequeues
 //     return an element of rank O(m) in expectation and O(m·log m) w.h.p.
-//     (Theorem 7.1).
+//     (Theorem 7.1). MultiQueueConfig.Stickiness and MultiQueueConfig.Batch
+//     enable the sticky/batched fast path: a handle re-uses its random queue
+//     choices for Stickiness consecutive operations and moves elements in
+//     and out in batches of Batch with one lock acquisition per batch.
+//     Batched handles must call MQHandle.Flush before quiescent audits
+//     (Len, Sizes, cross-handle drains); cmd/quality -queue re-measures the
+//     rank-error distribution for any (Stickiness, Batch) setting against
+//     the O(m·log m) envelope.
 //   - Timestamps — a relaxed timestamp oracle built on the MultiCounter,
 //     the drop-in replacement for fetch-and-add global clocks evaluated on
 //     TL2 in the paper's Section 8 (see repro/internal/stm for the STM).

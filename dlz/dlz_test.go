@@ -85,3 +85,42 @@ func TestTimestampsPublicAPI(t *testing.T) {
 		t.Fatal("oracle did not advance")
 	}
 }
+
+func TestMultiQueueStickyBatchedPublicAPI(t *testing.T) {
+	// The sticky/batched fast-path knobs must be reachable through the
+	// public config, and the batched contract (Flush before quiescent
+	// audits) must hold end to end.
+	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{
+		Queues: 8, Seed: 5, Stickiness: 8, Batch: 8,
+	})
+	if q.Stickiness() != 8 || q.Batch() != 8 {
+		t.Fatalf("knobs not plumbed: stickiness=%d batch=%d", q.Stickiness(), q.Batch())
+	}
+	h := q.NewHandle(7)
+	const n = 300
+	for v := uint64(0); v < n; v++ {
+		h.Enqueue(v)
+	}
+	h.Flush()
+	if h.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after Flush", h.Buffered())
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d after Flush, want %d", q.Len(), n)
+	}
+	drainer := q.NewHandle(9)
+	seen := map[uint64]bool{}
+	for {
+		it, ok := drainer.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[it.Value] {
+			t.Fatalf("value %d dequeued twice", it.Value)
+		}
+		seen[it.Value] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d, want %d", len(seen), n)
+	}
+}

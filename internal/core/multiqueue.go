@@ -20,9 +20,18 @@ import (
 // states: analysis guarantees apply while no insertion carries a higher
 // priority than an element already removed.
 type MultiQueue struct {
-	qs  []*cpq.Queue
-	clk clock.Clock
-	m   int
+	qs    []*cpq.Queue
+	clk   clock.Clock
+	blk   blockClock // non-nil when clk supports block reservation
+	m     int
+	stick int
+	batch int
+}
+
+// blockClock is the optional fast path a clock can offer batched enqueuers:
+// reserve n consecutive stamps with one shared atomic operation.
+type blockClock interface {
+	Block(n int) uint64
 }
 
 // MultiQueueConfig configures NewMultiQueue. The zero value of optional
@@ -40,6 +49,26 @@ type MultiQueueConfig struct {
 	Capacity int
 	// Seed feeds per-queue skiplist level generators.
 	Seed uint64
+	// Stickiness is the operation-stickiness window s: a handle re-uses its
+	// randomly chosen queue (for inserts) and queue pair (for removes) for
+	// up to s consecutive operations before re-rolling. The window is
+	// charged per element and a choice is dropped once a full batch no
+	// longer fits, so a random choice serves max(s, Batch) consecutive
+	// elements: batching already moves Batch elements per choice, and
+	// stickiness only extends re-use beyond a single batch when s > Batch.
+	// 0 or 1 means fresh random choices every operation (with Batch <= 1
+	// this is Algorithm 2 exactly). Larger s amortises the RNG draws and
+	// keeps a handle on warm cache lines at the cost of extra rank
+	// relaxation (re-measure with cmd/quality -queue).
+	Stickiness int
+	// Batch is the batching factor k: handles buffer up to k enqueues and
+	// flush them with one cpq.AddBatch, and prefetch up to k elements per
+	// dequeue refill with one cpq.DeleteMinUpTo — one lock acquisition and
+	// one cached-top publish per k elements instead of per element. 0 or 1
+	// means per-operation locking. Buffered enqueues are invisible to other
+	// handles until the batch flushes (call MQHandle.Flush at quiescence);
+	// prefetched elements are already dequeued from the shared structure.
+	Batch int
 }
 
 // NewMultiQueue returns a MultiQueue with the given configuration.
@@ -53,18 +82,43 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewTick()
 	}
+	if cfg.Stickiness < 1 {
+		cfg.Stickiness = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
 	sm := rng.NewSplitMix64(cfg.Seed)
-	mq := &MultiQueue{qs: make([]*cpq.Queue, cfg.Queues), clk: cfg.Clock, m: cfg.Queues}
+	mq := &MultiQueue{
+		qs:    make([]*cpq.Queue, cfg.Queues),
+		clk:   cfg.Clock,
+		m:     cfg.Queues,
+		stick: cfg.Stickiness,
+		batch: cfg.Batch,
+	}
+	if cfg.Batch > 1 {
+		mq.blk, _ = cfg.Clock.(blockClock)
+	}
 	for i := range mq.qs {
 		mq.qs[i] = cpq.New(cfg.Backing, cfg.Capacity, sm.Next())
 	}
 	return mq
 }
 
+// Stickiness returns the configured stickiness window s (>= 1).
+func (q *MultiQueue) Stickiness() int { return q.stick }
+
+// Batch returns the configured batching factor k (>= 1).
+func (q *MultiQueue) Batch() int { return q.batch }
+
 // M returns the number of internal queues.
 func (q *MultiQueue) M() int { return q.m }
 
 // Len returns the total number of stored elements (exact at quiescence).
+// In batched mode, elements a handle still buffers (MQHandle.Buffered) are
+// not counted until that handle flushes, and prefetched elements
+// (MQHandle.Prefetched) are already excluded — flush all handles before a
+// Len/Sizes audit.
 func (q *MultiQueue) Len() int {
 	n := 0
 	for _, pq := range q.qs {
@@ -85,58 +139,215 @@ func (q *MultiQueue) Sizes(dst []int) {
 	}
 }
 
-// MQHandle binds a MultiQueue to one goroutine's private generator.
+// MQHandle binds a MultiQueue to one goroutine's private generator and, in
+// sticky/batched mode, the handle-local fast-path state: the current sticky
+// queue choices, the insert buffer awaiting its batch flush, and the
+// prefetched dequeue run. A handle must be used by one goroutine at a time.
 type MQHandle struct {
 	q *MultiQueue
 	r *rng.Xoshiro256
+
+	// Stickiness state: remaining window uses and the cached choices.
+	enqLeft int
+	enqIdx  int
+	deqLeft int
+	deqI    int
+	deqJ    int
+
+	// Batching state: pending inserts and the prefetched dequeue run.
+	inBuf  []heap.Item
+	outBuf []heap.Item
+	outPos int
+
+	// Block-reserved clock stamps (batched mode over a Tick clock).
+	stampNext uint64
+	stampLeft int
 }
 
-// NewHandle returns a per-goroutine handle seeded with seed.
+// NewHandle returns a per-goroutine handle seeded with seed, inheriting the
+// MultiQueue's stickiness window and batching factor.
 func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
-	return &MQHandle{q: q, r: rng.NewXoshiro256(seed)}
+	h := &MQHandle{q: q, r: rng.NewXoshiro256(seed)}
+	if q.batch > 1 {
+		h.inBuf = make([]heap.Item, 0, q.batch)
+		h.outBuf = make([]heap.Item, 0, q.batch)
+	}
+	return h
 }
 
 // Queue returns the underlying MultiQueue.
 func (h *MQHandle) Queue() *MultiQueue { return h.q }
 
+// Buffered returns the number of enqueued elements held in this handle's
+// insert buffer, not yet visible to other handles. Zero unless Batch > 1.
+func (h *MQHandle) Buffered() int { return len(h.inBuf) }
+
+// Prefetched returns the number of already-dequeued elements this handle
+// holds and will return from upcoming Dequeue calls. Zero unless Batch > 1.
+func (h *MQHandle) Prefetched() int { return len(h.outBuf) - h.outPos }
+
+// Flush publishes any buffered inserts to the shared structure with one
+// batched add. Call at quiescence (before Len/Sizes audits or a drain by
+// another handle); a handle with an empty buffer flushes for free.
+func (h *MQHandle) Flush() {
+	if len(h.inBuf) == 0 {
+		return
+	}
+	h.q.qs[h.enqTarget(len(h.inBuf))].AddBatch(h.inBuf)
+	h.inBuf = h.inBuf[:0]
+}
+
+// enqTarget picks the insert queue and charges n logical operations against
+// the stickiness window: a fresh uniform draw when the window is 1,
+// otherwise the cached choice, re-rolled when the incoming batch no longer
+// fits in the remaining window. A choice therefore serves at most
+// max(stick, batch) elements — exactly stick when batch divides into it,
+// one whole batch when batch exceeds the window (a batch is never split
+// across choices). Charging per element (not per lock acquisition) keeps
+// the window comparable across batch sizes.
+func (h *MQHandle) enqTarget(n int) int {
+	if h.q.stick <= 1 {
+		return h.r.Intn(h.q.m)
+	}
+	if h.enqLeft < n {
+		h.enqIdx = h.r.Intn(h.q.m)
+		h.enqLeft = h.q.stick
+	}
+	h.enqLeft -= n
+	return h.enqIdx
+}
+
+// deqPair picks the two-choice comparison pair, cached across the stickiness
+// window; a pair with less than a full batch of window left is expired, so
+// like enqTarget a pair serves at most max(stick, batch) elements. The
+// caller charges the window
+// via deqCharge with the number of elements actually obtained; an empty or
+// contended outcome should call deqReroll so the next draw abandons a stale
+// pair early.
+func (h *MQHandle) deqPair() (i, j int) {
+	if h.q.stick <= 1 {
+		return h.r.Intn(h.q.m), h.r.Intn(h.q.m)
+	}
+	if h.deqLeft < h.q.batch {
+		h.deqI, h.deqJ = h.r.Intn(h.q.m), h.r.Intn(h.q.m)
+		h.deqLeft = h.q.stick
+	}
+	return h.deqI, h.deqJ
+}
+
+// deqCharge consumes n logical operations from the sticky dequeue window.
+func (h *MQHandle) deqCharge(n int) { h.deqLeft -= n }
+
+// deqReroll expires the sticky dequeue pair so the next draw is fresh.
+func (h *MQHandle) deqReroll() { h.deqLeft = 0 }
+
+// insert routes one stamped element through the batching layer: direct Add
+// in per-op mode, or buffer-and-flush in batched mode.
+func (h *MQHandle) insert(priority, value uint64) {
+	if h.q.batch <= 1 {
+		h.q.qs[h.enqTarget(1)].Add(priority, value)
+		return
+	}
+	h.inBuf = append(h.inBuf, heap.Item{Priority: priority, Value: value})
+	if len(h.inBuf) >= h.q.batch {
+		h.Flush()
+	}
+}
+
 // Enqueue implements Algorithm 2's Enqueue: stamp with the clock, insert
-// into a uniformly random queue. It returns the priority assigned, which
-// doubles as the element's unique label under a Tick clock.
+// into a uniformly random queue (sticky across the stickiness window, and
+// buffered into one AddBatch per Batch elements in batched mode). It returns
+// the priority assigned, which doubles as the element's unique label under a
+// Tick clock. The stamp is taken at call time, so batching delays visibility
+// but never reorders a handle's own elements.
 func (h *MQHandle) Enqueue(value uint64) uint64 {
-	p := h.q.clk.Now()
-	h.q.qs[h.r.Intn(h.q.m)].Add(p, value)
+	p := h.stamp()
+	h.insert(p, value)
+	return p
+}
+
+// stamp draws the next enqueue timestamp: directly from the clock in per-op
+// mode, or from a handle-owned block of Batch consecutive ticks reserved
+// with one shared atomic operation when the clock supports it.
+func (h *MQHandle) stamp() uint64 {
+	if h.q.blk == nil {
+		return h.q.clk.Now()
+	}
+	if h.stampLeft == 0 {
+		h.stampNext = h.q.blk.Block(h.q.batch)
+		h.stampLeft = h.q.batch
+	}
+	p := h.stampNext
+	h.stampNext++
+	h.stampLeft--
 	return p
 }
 
 // EnqueuePriority inserts with an explicit priority (relaxed priority-queue
-// mode), bypassing the clock.
+// mode), bypassing the clock but using the same sticky/batched insert path.
 func (h *MQHandle) EnqueuePriority(priority, value uint64) {
-	h.q.qs[h.r.Intn(h.q.m)].Add(priority, value)
+	h.insert(priority, value)
 }
 
 // Dequeue implements Algorithm 2's Dequeue: choose two random queues,
 // compare their ReadMin priorities, DeleteMin on the apparently smaller.
 // As in the paper, the comparison uses possibly stale information; the
 // deletion itself is linearizable. If the chosen queue turns out empty the
-// operation retries, and after 2·m fruitless draws it scans all queues once;
-// ok is false only when every queue was observed empty.
+// operation retries, and after 2·m fruitless draws it scans all queues once
+// (flushing this handle's own insert buffer first, so a single-handle drain
+// never misses its buffered elements); ok is false only when every queue was
+// observed empty.
+//
+// In batched mode the winner is drained with DeleteMinUpTo(Batch) and the
+// run beyond the first element is served from the handle's prefetch buffer
+// by subsequent calls — one lock acquisition per Batch elements.
 func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
+	if h.outPos < len(h.outBuf) {
+		it = h.outBuf[h.outPos]
+		h.outPos++
+		return it, true
+	}
 	for attempt := 0; attempt < 2*h.q.m; attempt++ {
-		i, j := h.r.Intn(h.q.m), h.r.Intn(h.q.m)
+		i, j := h.deqPair()
 		if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
 			i = j
 		}
-		if it, ok = h.q.qs[i].DeleteMin(); ok {
+		if it, ok = h.deleteFrom(i); ok {
 			return it, true
 		}
+		h.deqReroll()
 	}
-	// Fallback sweep so that draining terminates deterministically.
+	// Fallback sweep so that draining terminates deterministically. Our own
+	// pending inserts are flushed first: they are logically enqueued and a
+	// drain must observe them.
+	h.Flush()
 	for i := 0; i < h.q.m; i++ {
-		if it, ok = h.q.qs[i].DeleteMin(); ok {
+		if it, ok = h.deleteFrom(i); ok {
 			return it, true
 		}
 	}
 	return heap.Item{}, false
+}
+
+// deleteFrom removes from queue i: a single DeleteMin in per-op mode, or a
+// DeleteMinUpTo(Batch) refill in batched mode with the first element
+// returned and the rest parked in the prefetch buffer.
+func (h *MQHandle) deleteFrom(i int) (heap.Item, bool) {
+	if h.q.batch <= 1 {
+		it, ok := h.q.qs[i].DeleteMin()
+		if ok {
+			h.deqCharge(1)
+		}
+		return it, ok
+	}
+	h.outBuf = h.q.qs[i].DeleteMinUpTo(h.q.batch, h.outBuf[:0])
+	if len(h.outBuf) == 0 {
+		h.outPos = 0
+		return heap.Item{}, false
+	}
+	h.deqCharge(len(h.outBuf))
+	h.outPos = 1
+	return h.outBuf[0], true
 }
 
 // DequeueD generalizes Dequeue to d random choices: it reads the heads of d
@@ -147,6 +358,11 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 	if d < 1 {
 		panic("core: DequeueD needs d >= 1")
+	}
+	if h.outPos < len(h.outBuf) {
+		it = h.outBuf[h.outPos]
+		h.outPos++
+		return it, true
 	}
 	for attempt := 0; attempt < 2*h.q.m; attempt++ {
 		best := h.r.Intn(h.q.m)
@@ -161,6 +377,7 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 			return it, true
 		}
 	}
+	h.Flush()
 	for i := 0; i < h.q.m; i++ {
 		if it, ok = h.q.qs[i].DeleteMin(); ok {
 			return it, true
@@ -172,22 +389,70 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 // TryDequeue is the lock-avoiding variant used by throughput benchmarks:
 // it compares two ReadMin values and only try-locks the winner, re-drawing
 // on contention instead of spinning. attempts bounds the number of draws;
-// ok is false if no element was obtained within the budget.
+// ok is false if no element was obtained within the budget. Nothing on this
+// path ever blocks on a queue lock, so it routes around dead or stalled
+// lock holders in every mode. Like Dequeue, a batched handle serves its
+// prefetch buffer first, uses the sticky comparison pair, refills with a
+// try-locked DeleteMinUpTo, and before giving up attempts a non-blocking
+// flush of its own insert buffer (TryAddBatch to random queues) and retries
+// the budget once.
 func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
-	for a := 0; a < attempts; a++ {
-		i, j := h.r.Intn(h.q.m), h.r.Intn(h.q.m)
-		if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
-			i = j
+	if h.outPos < len(h.outBuf) {
+		it = h.outBuf[h.outPos]
+		h.outPos++
+		return it, true
+	}
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < attempts; a++ {
+			i, j := h.deqPair()
+			if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
+				i = j
+			}
+			if h.q.batch <= 1 {
+				if it, okPop, acquired := h.q.qs[i].TryDeleteMin(); acquired && okPop {
+					h.deqCharge(1)
+					return it, true
+				}
+			} else if out, acquired := h.q.qs[i].TryDeleteMinUpTo(h.q.batch, h.outBuf[:0]); acquired && len(out) > 0 {
+				h.outBuf = out
+				h.outPos = 1
+				h.deqCharge(len(out))
+				return out[0], true
+			}
+			// Contended or empty: abandon the sticky pair for a fresh draw.
+			h.deqReroll()
 		}
-		if it, okPop, acquired := h.q.qs[i].TryDeleteMin(); acquired && okPop {
-			return it, true
+		if len(h.inBuf) == 0 {
+			break
+		}
+		if !h.tryFlush(attempts) {
+			break
 		}
 	}
 	return heap.Item{}, false
 }
 
+// tryFlush attempts to publish the insert buffer without blocking: up to
+// attempts random queues are offered the batch with TryAddBatch. Reports
+// whether the buffer was published.
+func (h *MQHandle) tryFlush(attempts int) bool {
+	for a := 0; a < attempts; a++ {
+		if h.q.qs[h.r.Intn(h.q.m)].TryAddBatch(h.inBuf) {
+			h.inBuf = h.inBuf[:0]
+			return true
+		}
+	}
+	return false
+}
+
 // EnqueueTraced performs Enqueue and records the operation; the assigned
-// priority is the element's label for the dlin queue-spec replay.
+// priority is the element's label for the dlin queue-spec replay. In
+// batched mode the linearization stamp is taken at buffering time, before
+// the element is visible to other handles; the replay stays sound (the
+// relaxed spec treats dequeue-empty as a zero-cost no-op and labels stay
+// unique) but dequeue rank costs are then measured against all logically
+// enqueued labels, including still-buffered ones — the same accounting as
+// quality.MeasureDequeueRank.
 func (h *MQHandle) EnqueueTraced(value uint64, rec *trace.Recorder, log *trace.ThreadLog) uint64 {
 	start := rec.Stamp()
 	p := h.Enqueue(value)

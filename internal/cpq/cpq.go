@@ -115,6 +115,87 @@ func (q *Queue) Add(priority, value uint64) {
 	q.lock.Unlock()
 }
 
+// AddBatch inserts all items under one lock acquisition with one cached-top
+// publish, amortising the lock hand-off and the top-store cache-line write
+// over len(items) elements. It is the insert half of the MultiQueue's
+// sticky/batched fast path; an empty batch is a no-op that takes no lock.
+func (q *Queue) AddBatch(items []heap.Item) {
+	if len(items) == 0 {
+		return
+	}
+	q.lock.Lock()
+	for _, it := range items {
+		q.pq.Push(it)
+	}
+	q.publishTop()
+	q.lock.Unlock()
+}
+
+// TryAddBatch is AddBatch's non-blocking variant: it inserts the batch only
+// if the lock is free, reporting whether the insert happened. An empty batch
+// reports true without touching the lock.
+func (q *Queue) TryAddBatch(items []heap.Item) bool {
+	if len(items) == 0 {
+		return true
+	}
+	if !q.lock.TryLock() {
+		return false
+	}
+	for _, it := range items {
+		q.pq.Push(it)
+	}
+	q.publishTop()
+	q.lock.Unlock()
+	return true
+}
+
+// DeleteMinUpTo removes up to k minimum items under one lock acquisition,
+// appending them to dst in ascending priority order and returning the
+// extended slice. Fewer than k items are returned only when the queue runs
+// empty; dst is returned unchanged when the queue is empty or k <= 0. This
+// is the remove half of the MultiQueue's sticky/batched fast path: one lock
+// and one cached-top publish per k elements instead of per element.
+func (q *Queue) DeleteMinUpTo(k int, dst []heap.Item) []heap.Item {
+	if k <= 0 {
+		return dst
+	}
+	q.lock.Lock()
+	for n := 0; n < k; n++ {
+		it, ok := q.pq.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	q.publishTop()
+	q.lock.Unlock()
+	return dst
+}
+
+// TryDeleteMinUpTo is DeleteMinUpTo's non-blocking variant: acquired
+// reports whether the lock was obtained; when it is false the queue was
+// contended and dst is returned unchanged. With the lock held it drains up
+// to k items exactly like DeleteMinUpTo (so fewer than k with acquired true
+// means the queue ran empty).
+func (q *Queue) TryDeleteMinUpTo(k int, dst []heap.Item) (out []heap.Item, acquired bool) {
+	if k <= 0 {
+		return dst, true
+	}
+	if !q.lock.TryLock() {
+		return dst, false
+	}
+	for n := 0; n < k; n++ {
+		it, ok := q.pq.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	q.publishTop()
+	q.lock.Unlock()
+	return dst, true
+}
+
 // TryAdd inserts (priority, value) only if the lock is free, reporting
 // whether the insert happened. MultiQueue enqueues use it to skip contended
 // queues and re-draw.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/heap"
 	"repro/internal/rng"
 )
 
@@ -218,4 +219,125 @@ func TestNewPanicsOnUnknownBacking(t *testing.T) {
 		}
 	}()
 	New(Backing(42), 1, 1)
+}
+
+func TestAddBatchDeleteMinUpTo(t *testing.T) {
+	for _, b := range backings {
+		q := New(b, 16, 3)
+		q.AddBatch(nil) // empty batch: no lock, no effect
+		if q.Len() != 0 || q.ReadMin() != EmptyTop {
+			t.Fatalf("%v: empty AddBatch changed state", b)
+		}
+		batch := []heap.Item{{Priority: 7, Value: 70}, {Priority: 3, Value: 30}, {Priority: 5, Value: 50}}
+		q.AddBatch(batch)
+		if q.Len() != 3 {
+			t.Fatalf("%v: Len after AddBatch = %d", b, q.Len())
+		}
+		if q.ReadMin() != 3 {
+			t.Fatalf("%v: ReadMin after AddBatch = %d, want 3", b, q.ReadMin())
+		}
+		// Drain two with one call; ascending order required.
+		got := q.DeleteMinUpTo(2, nil)
+		if len(got) != 2 || got[0].Priority != 3 || got[1].Priority != 5 {
+			t.Fatalf("%v: DeleteMinUpTo(2) = %+v", b, got)
+		}
+		if q.ReadMin() != 7 {
+			t.Fatalf("%v: ReadMin after partial drain = %d, want 7", b, q.ReadMin())
+		}
+		// Asking for more than remain returns the remainder and publishes empty.
+		got = q.DeleteMinUpTo(10, got[:0])
+		if len(got) != 1 || got[0].Priority != 7 {
+			t.Fatalf("%v: final DeleteMinUpTo = %+v", b, got)
+		}
+		if q.ReadMin() != EmptyTop || q.Len() != 0 {
+			t.Fatalf("%v: queue not empty after full drain", b)
+		}
+		// k <= 0 and empty-queue calls leave dst untouched.
+		if out := q.DeleteMinUpTo(0, got); len(out) != len(got) {
+			t.Fatalf("%v: DeleteMinUpTo(0) appended", b)
+		}
+		if out := q.DeleteMinUpTo(4, nil); len(out) != 0 {
+			t.Fatalf("%v: DeleteMinUpTo on empty = %+v", b, out)
+		}
+	}
+}
+
+func TestTryAddBatch(t *testing.T) {
+	q := New(BackingBinary, 16, 4)
+	if !q.TryAddBatch(nil) {
+		t.Fatal("empty TryAddBatch reported contention")
+	}
+	if !q.LockForTest() {
+		t.Fatal("could not take test lock")
+	}
+	if q.TryAddBatch([]heap.Item{{Priority: 1}}) {
+		t.Fatal("TryAddBatch succeeded against a held lock")
+	}
+	q.UnlockForTest()
+	if !q.TryAddBatch([]heap.Item{{Priority: 2, Value: 20}, {Priority: 1, Value: 10}}) {
+		t.Fatal("TryAddBatch failed on a free lock")
+	}
+	if q.Len() != 2 || q.ReadMin() != 1 {
+		t.Fatalf("Len=%d ReadMin=%d after TryAddBatch", q.Len(), q.ReadMin())
+	}
+}
+
+func TestBatchConcurrentConservation(t *testing.T) {
+	// Batched producers and batched consumers must neither lose nor
+	// duplicate elements, for every backing.
+	for _, b := range backings {
+		q := New(b, 64, 5)
+		const producers, batches, k = 4, 200, 8
+		var wg sync.WaitGroup
+		wg.Add(producers)
+		for p := 0; p < producers; p++ {
+			go func(p int) {
+				defer wg.Done()
+				r := rng.NewXoshiro256(uint64(p) + 1)
+				buf := make([]heap.Item, k)
+				for i := 0; i < batches; i++ {
+					for j := range buf {
+						v := uint64(p*batches*k + i*k + j)
+						buf[j] = heap.Item{Priority: r.Next(), Value: v}
+					}
+					q.AddBatch(buf)
+				}
+			}(p)
+		}
+		wg.Wait()
+		want := producers * batches * k
+		if q.Len() != want {
+			t.Fatalf("%v: Len = %d, want %d", b, q.Len(), want)
+		}
+		const consumers = 4
+		out := make([][]heap.Item, consumers)
+		wg.Add(consumers)
+		for c := 0; c < consumers; c++ {
+			go func(c int) {
+				defer wg.Done()
+				for {
+					got := q.DeleteMinUpTo(k, nil)
+					if len(got) == 0 {
+						return
+					}
+					out[c] = append(out[c], got...)
+				}
+			}(c)
+		}
+		wg.Wait()
+		seen := make(map[uint64]bool, want)
+		total := 0
+		for _, run := range out {
+			for _, it := range run {
+				if seen[it.Value] {
+					t.Fatalf("%v: value %d dequeued twice", b, it.Value)
+				}
+				seen[it.Value] = true
+				total++
+			}
+		}
+		if total != want {
+			t.Fatalf("%v: drained %d, want %d", b, total, want)
+		}
+	}
 }

@@ -1,0 +1,41 @@
+// Package quality holds the live-structure quality measurements shared by
+// the cmd/ tools — the experiments that drive a real MultiQueue and score
+// it against the paper's theory scales. It sits above internal/core (the
+// structures) and internal/dlin (the spec framework) so that core's own
+// tests can keep importing dlin without a cycle.
+package quality
+
+import (
+	"repro/internal/core"
+	"repro/internal/dlin"
+	"repro/internal/stats"
+)
+
+// MeasureDequeueRank is the single-threaded steady-state rank-error
+// measurement shared by cmd/quality, cmd/benchall and cmd/multiqueue-bench:
+// drive the handle through a standing buffer of buffer elements, then ops
+// enqueue+dequeue pairs, computing each dequeue's rank against a Fenwick
+// tree over the logically enqueued labels (the same accounting as the
+// dlin.QueueSpec replay). The returned sample holds one rank error per
+// dequeue (0 = exact minimum).
+//
+// The queue must use the default Tick clock (labels dense from 1) and the
+// handle must be fresh; measurement stops early if a dequeue comes up empty.
+func MeasureDequeueRank(h *core.MQHandle, buffer, ops int) *stats.Sample {
+	fw := dlin.NewFenwick(buffer + ops + h.Queue().Batch() + 2)
+	for i := 0; i < buffer; i++ {
+		fw.Add(int(h.Enqueue(0)), 1)
+	}
+	sample := stats.NewSample(ops)
+	for i := 0; i < ops; i++ {
+		fw.Add(int(h.Enqueue(0)), 1)
+		it, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		rank := fw.PrefixSum(int(it.Priority))
+		fw.Add(int(it.Priority), -1)
+		sample.AddInt(int(rank - 1))
+	}
+	return sample
+}

@@ -1,0 +1,42 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dlin"
+)
+
+func TestMeasureDequeueRankPerOpBaseline(t *testing.T) {
+	// The per-op baseline at m=32 must show mean rank error O(m), the same
+	// bound TestMultiQueueRankErrorLinearInM asserts at the core layer.
+	const m = 32
+	q := core.NewMultiQueue(core.MultiQueueConfig{Queues: m, Seed: 3})
+	sample := MeasureDequeueRank(q.NewHandle(4), 64*m, 20_000)
+	if sample.N() != 20_000 {
+		t.Fatalf("sample has %d entries, want 20000", sample.N())
+	}
+	if mean := sample.Mean(); mean > 4*float64(m)+4 {
+		t.Fatalf("baseline mean rank error %v not O(m) at m=%d", mean, m)
+	}
+}
+
+func TestMeasureDequeueRankBatchedStaysMeasurable(t *testing.T) {
+	// The batched mode's rank cost grows with the batch but must stay a
+	// well-formed distribution (no negative ranks, no lost dequeues) and
+	// inside the envelope for a quality-safe window at large enough m.
+	const m = 128
+	q := core.NewMultiQueue(core.MultiQueueConfig{
+		Queues: m, Seed: 5, Stickiness: 8, Batch: 8,
+	})
+	sample := MeasureDequeueRank(q.NewHandle(6), 64*m, 20_000)
+	if sample.N() != 20_000 {
+		t.Fatalf("sample has %d entries, want 20000", sample.N())
+	}
+	if min := sample.Quantile(0); min < 0 {
+		t.Fatalf("negative rank error %v", min)
+	}
+	if mean, env := sample.Mean(), dlin.Envelope(m); mean > env {
+		t.Fatalf("s=8 k=8 mean %v exceeds envelope %v at m=%d", mean, env, m)
+	}
+}
