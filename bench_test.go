@@ -17,6 +17,12 @@
 //	Ablation A2 -> BenchmarkAblationRatio
 //	Ablation A3 -> BenchmarkAblationDelta
 //	Ablation A4 -> BenchmarkAblationBacking
+//
+// Fast-path guards (beyond the paper; see DESIGN.md §2):
+//
+//	MultiCounter sticky/batched -> BenchmarkMultiCounterStickyBatched
+//	MultiQueue sticky/batched   -> BenchmarkMultiQueueStickyBatched
+//	cpq batch layer             -> BenchmarkCPQBatchOps
 package repro
 
 import (
@@ -318,6 +324,43 @@ func BenchmarkAblationBacking(b *testing.B) {
 					h.Dequeue()
 				}
 			})
+		})
+	}
+}
+
+// --- Sticky/batched MultiCounter fast path (cmd/benchall's sweep, in-suite) ---
+
+// BenchmarkMultiCounterStickyBatched compares the per-op two-choice baseline
+// against the sticky, batched, combined, and d=4-combined fast-path modes
+// under parallel increments. cmd/benchall runs the full machine-readable
+// sweep with deviation audits; this keeps the comparison one `go test
+// -bench` away and guards the amortised counter against regression.
+func BenchmarkMultiCounterStickyBatched(b *testing.B) {
+	for _, cfg := range []struct {
+		name            string
+		d, stick, batch int
+	}{
+		{"baseline", 2, 1, 1},
+		{"sticky8", 2, 8, 1},
+		{"batch8", 2, 1, 8},
+		{"sticky8-batch8", 2, 8, 8},
+		{"d4-sticky8-batch8", 4, 8, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+				Counters:   8 * runtime.GOMAXPROCS(0),
+				Choices:    cfg.d,
+				Stickiness: cfg.stick,
+				Batch:      cfg.batch,
+			})
+			b.RunParallel(func(pb *testing.PB) {
+				h := mc.NewHandle(nextSeed())
+				for pb.Next() {
+					h.Increment()
+				}
+				h.Flush()
+			})
+			b.ReportMetric(float64(mc.Gap()), "gap")
 		})
 	}
 }

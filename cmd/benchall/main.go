@@ -1,14 +1,18 @@
 // Command benchall runs the machine-readable benchmark pipeline: the
 // MultiQueue throughput sweep (goroutines × m × stickiness × batch) and the
-// MultiCounter throughput sweep (goroutines × m-ratio vs the exact
-// fetch-and-add baseline), and emits BENCH_multiqueue.json and
-// BENCH_multicounter.json so the performance trajectory is tracked across
-// PRs instead of living in scrollback.
+// MultiCounter throughput sweep (goroutines × m × choices × stickiness ×
+// batch vs the exact fetch-and-add and per-op two-choice baselines), and
+// emits BENCH_multiqueue.json and BENCH_multicounter.json (schema in
+// internal/benchfmt) so the performance trajectory is tracked across PRs
+// instead of living in scrollback.
 //
-// The MultiQueue report also computes, for every sticky/batched point, the
-// speedup against the per-op baseline at the same (threads, m), and a
-// summary with the best speedup at >= 8 goroutines — the regression gate
-// EXPERIMENTS.md records.
+// Both reports compute, for every amortised point, the speedup against the
+// per-op baseline at the same grid coordinates, attach the single-threaded
+// quality audit of the setting (dequeue rank error vs Theorem 7.1's
+// envelope; read max-deviation vs Theorem 6.1's), and summarize the best
+// within-envelope speedup at >= 8 goroutines — the >= 1.5x regression gate
+// EXPERIMENTS.md records. The process exits non-zero if either structure
+// misses its gate.
 //
 // Usage:
 //
@@ -16,102 +20,20 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/dlin"
 	"repro/internal/harness"
 	"repro/internal/quality"
 	"repro/internal/stats"
 )
-
-// Env captures the machine context a JSON report was produced on.
-type Env struct {
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"numcpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Generated  string `json:"generated"`
-}
-
-// RankQuality is the single-threaded dequeue rank-error audit of one
-// (m, stickiness, batch) setting against Theorem 7.1's O(m·log m) envelope —
-// the same measurement cmd/quality -queue reports interactively.
-type RankQuality struct {
-	RankErrorMean  float64 `json:"rank_error_mean"`
-	Envelope       float64 `json:"envelope_m_log_m"`
-	WithinEnvelope bool    `json:"within_envelope"`
-}
-
-// MQPoint is one MultiQueue sweep measurement.
-type MQPoint struct {
-	Threads    int     `json:"threads"`
-	M          int     `json:"m"`
-	Stickiness int     `json:"stickiness"`
-	Batch      int     `json:"batch"`
-	Ops        int64   `json:"ops"`
-	Seconds    float64 `json:"seconds"`
-	Mops       float64 `json:"mops"`
-	// Speedup is Mops over the (Stickiness=1, Batch=1) baseline at the same
-	// (Threads, M); 1.0 for the baseline itself.
-	Speedup float64     `json:"speedup_vs_baseline"`
-	Quality RankQuality `json:"quality"`
-}
-
-// MQSummary is the headline the perf trajectory tracks.
-type MQSummary struct {
-	// GateThreads is the thread count the summary gates at: 8, or the
-	// largest swept count when -maxthreads is below 8 (so small sweeps
-	// still produce a meaningful summary instead of a guaranteed failure).
-	GateThreads int `json:"gate_threads"`
-	// BestSpeedup is the largest baseline-relative speedup observed at
-	// Threads >= GateThreads, and Best the point that achieved it (the
-	// throughput ceiling, whatever its rank quality).
-	BestSpeedup float64 `json:"best_speedup_at_gate_threads"`
-	Best        MQPoint `json:"best_point"`
-	// BestWithinEnvelope restricts the same search to points whose measured
-	// rank-error mean stays inside the m·log m envelope — speedup that keeps
-	// Theorem 7.1's quality guarantee.
-	BestWithinEnvelopeSpeedup float64 `json:"best_within_envelope_speedup"`
-	BestWithinEnvelope        MQPoint `json:"best_within_envelope_point"`
-	// MeetsTarget reports BestWithinEnvelopeSpeedup >= 1.5, the floor this
-	// pipeline gates: the fast path must win without giving up the envelope.
-	MeetsTarget bool `json:"meets_1_5x_target_within_envelope"`
-}
-
-// MQReport is the BENCH_multiqueue.json schema.
-type MQReport struct {
-	Bench   string    `json:"bench"`
-	Env     Env       `json:"env"`
-	DurMS   int64     `json:"dur_ms"`
-	Points  []MQPoint `json:"points"`
-	Summary MQSummary `json:"summary"`
-}
-
-// MCPoint is one MultiCounter sweep measurement.
-type MCPoint struct {
-	Threads int     `json:"threads"`
-	Variant string  `json:"variant"` // "exact-faa" or "multicounter"
-	M       int     `json:"m"`       // 0 for the exact baseline
-	Ops     int64   `json:"ops"`
-	Seconds float64 `json:"seconds"`
-	Mops    float64 `json:"mops"`
-}
-
-// MCReport is the BENCH_multicounter.json schema.
-type MCReport struct {
-	Bench  string    `json:"bench"`
-	Env    Env       `json:"env"`
-	DurMS  int64     `json:"dur_ms"`
-	Points []MCPoint `json:"points"`
-}
 
 // stickyBatchSweep is the (stickiness, batch) grid the MultiQueue sweep
 // covers: the per-op baseline, each knob alone, the quality-safe combined
@@ -126,6 +48,20 @@ var stickyBatchSweep = []struct{ stick, batch int }{
 	{16, 16},
 }
 
+// counterSweep is the (choices, stickiness, batch) grid the MultiCounter
+// sweep covers: the paper's per-op two-choice baseline, each amortisation
+// knob alone, the combined window, the d = 4 variant that buys back part of
+// the batching deviation (see cmd/quality), and the deep window for the
+// throughput ceiling.
+var counterSweep = []struct{ d, stick, batch int }{
+	{2, 1, 1},
+	{2, 8, 1},
+	{2, 1, 8},
+	{2, 8, 8},
+	{4, 8, 8},
+	{2, 16, 16},
+}
+
 func main() {
 	dur := flag.Duration("dur", 500*time.Millisecond, "measurement window per point")
 	maxThreads := flag.Int("maxthreads", 8, "largest goroutine count in the sweep")
@@ -134,13 +70,7 @@ func main() {
 	seed := flag.Uint64("seed", 5, "PRNG seed")
 	flag.Parse()
 
-	env := Env{
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-	}
+	env := benchfmt.CaptureEnv()
 
 	mq := runMultiQueueSweep(*dur, *maxThreads, *mfactor, *seed, env)
 	writeReport(filepath.Join(*out, "BENCH_multiqueue.json"), mq)
@@ -155,10 +85,27 @@ func main() {
 
 	mc := runMultiCounterSweep(*dur, *maxThreads, *mfactor, *seed, env)
 	writeReport(filepath.Join(*out, "BENCH_multicounter.json"), mc)
-	fmt.Printf("multicounter: %d points written\n", len(mc.Points))
+	best := mc.Summary.BestWithinEnvelope
+	fmt.Printf("multicounter: best speedup at >=%d goroutines %.2fx (d=%d s=%d k=%d m=%d)\n",
+		mc.Summary.GateThreads, mc.Summary.BestSpeedup, mc.Summary.Best.Choices,
+		mc.Summary.Best.Stickiness, mc.Summary.Best.Batch, mc.Summary.Best.M)
+	if best.Quality != nil {
+		fmt.Printf("multicounter: best within-envelope speedup %.2fx (d=%d s=%d k=%d m=%d, dev mean %.0f <= %.0f, dev max %d), target >=1.5x met: %v\n",
+			mc.Summary.BestWithinEnvelopeSpeedup, best.Choices, best.Stickiness,
+			best.Batch, best.M, best.Quality.MeanAbsDeviation,
+			best.Quality.Envelope, best.Quality.MaxAbsDeviation, mc.Summary.MeetsTarget)
+	}
 
+	failed := false
 	if !mq.Summary.MeetsTarget {
 		fmt.Fprintln(os.Stderr, "benchall: sticky/batched MultiQueue did not reach 1.5x over the per-op baseline")
+		failed = true
+	}
+	if !mc.Summary.MeetsTarget {
+		fmt.Fprintln(os.Stderr, "benchall: sticky/batched MultiCounter did not reach 1.5x over the per-op baseline")
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -166,14 +113,14 @@ func main() {
 // runMultiQueueSweep measures enqueue+dequeue pair throughput across
 // goroutines × m × (stickiness, batch), attaching the single-threaded rank
 // quality of each (m, stickiness, batch) setting to its points.
-func runMultiQueueSweep(dur time.Duration, maxThreads, mfactor int, seed uint64, env Env) *MQReport {
-	rep := &MQReport{Bench: "multiqueue-sticky-batched", Env: env, DurMS: dur.Milliseconds()}
-	rep.Summary.GateThreads = 8
-	if maxThreads < 8 {
-		rep.Summary.GateThreads = maxThreads
+func runMultiQueueSweep(dur time.Duration, maxThreads, mfactor int, seed uint64, env benchfmt.Env) *benchfmt.MQReport {
+	rep := &benchfmt.MQReport{
+		Bench: "multiqueue-sticky-batched", Schema: benchfmt.SchemaVersion,
+		Env: env, DurMS: dur.Milliseconds(),
 	}
-	baseline := map[[2]int]float64{}   // (threads, m) -> baseline mops
-	audits := map[[3]int]RankQuality{} // (m, stick, batch) -> rank audit
+	rep.Summary.GateThreads = gateThreads(maxThreads)
+	baseline := map[[2]int]float64{}            // (threads, m) -> baseline mops
+	audits := map[[3]int]benchfmt.RankQuality{} // (m, stick, batch) -> rank audit
 	for _, threads := range harness.ThreadCounts(maxThreads) {
 		for _, mf := range []int{mfactor, 2 * mfactor, 4 * mfactor} {
 			m := mf * threads
@@ -184,12 +131,22 @@ func runMultiQueueSweep(dur time.Duration, maxThreads, mfactor int, seed uint64,
 	return rep
 }
 
+// gateThreads returns the thread count summaries gate at: 8, or the largest
+// swept count when maxThreads is below 8 (so small sweeps still produce a
+// meaningful summary instead of a guaranteed failure).
+func gateThreads(maxThreads int) int {
+	if maxThreads < 8 {
+		return maxThreads
+	}
+	return 8
+}
+
 // runMultiQueuePoints measures every (stickiness, batch) setting at one
 // (threads, m) grid point. Each point is the best of reps windows: noise on
 // a shared machine is one-sided (background load only slows a window down),
 // so the max over repetitions is the stable estimator of capability and
 // keeps the baseline-relative speedups from flapping run to run.
-func runMultiQueuePoints(rep *MQReport, baseline map[[2]int]float64, audits map[[3]int]RankQuality, threads, m int, dur time.Duration, seed uint64) {
+func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, audits map[[3]int]benchfmt.RankQuality, threads, m int, dur time.Duration, seed uint64) {
 	const reps = 5
 	for _, g := range stickyBatchSweep {
 		var bestOps int64
@@ -226,7 +183,7 @@ func runMultiQueuePoints(rep *MQReport, baseline map[[2]int]float64, audits map[
 		if _, done := audits[qkey]; !done {
 			audits[qkey] = measureRankQuality(m, g.stick, g.batch, seed)
 		}
-		pt := MQPoint{
+		pt := benchfmt.MQPoint{
 			Threads:    threads,
 			M:          m,
 			Stickiness: g.stick,
@@ -258,7 +215,7 @@ func runMultiQueuePoints(rep *MQReport, baseline map[[2]int]float64, audits map[
 // measureRankQuality runs the single-threaded steady-state rank-error
 // measurement of cmd/quality -queue (quality.MeasureDequeueRank) over a
 // standing buffer of 64·m elements and scores it against the envelope.
-func measureRankQuality(m, stickiness, batch int, seed uint64) RankQuality {
+func measureRankQuality(m, stickiness, batch int, seed uint64) benchfmt.RankQuality {
 	const ops = 50_000
 	q := core.NewMultiQueue(core.MultiQueueConfig{
 		Queues: m, Seed: seed, Stickiness: stickiness, Batch: batch,
@@ -266,14 +223,25 @@ func measureRankQuality(m, stickiness, batch int, seed uint64) RankQuality {
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
 	mean := sample.Mean()
 	env := dlin.Envelope(m)
-	return RankQuality{RankErrorMean: mean, Envelope: env, WithinEnvelope: mean <= env}
+	return benchfmt.RankQuality{RankErrorMean: mean, Envelope: env, WithinEnvelope: mean <= env}
 }
 
 // runMultiCounterSweep measures increment throughput for the exact
-// fetch-and-add counter and the MultiCounter with m = mfactor·threads.
-func runMultiCounterSweep(dur time.Duration, maxThreads, mfactor int, seed uint64, env Env) *MCReport {
-	rep := &MCReport{Bench: "multicounter", Env: env, DurMS: dur.Milliseconds()}
+// fetch-and-add reference and the MultiCounter across goroutines × m ×
+// (choices, stickiness, batch), attaching the single-threaded max-deviation
+// audit of each (m, d, s, k) setting to its points and summarizing the best
+// within-envelope speedup over the per-op two-choice baseline.
+func runMultiCounterSweep(dur time.Duration, maxThreads, mfactor int, seed uint64, env benchfmt.Env) *benchfmt.MCReport {
+	rep := &benchfmt.MCReport{
+		Bench: "multicounter-sticky-batched", Schema: benchfmt.SchemaVersion,
+		Env: env, DurMS: dur.Milliseconds(),
+		Summary: &benchfmt.MCSummary{GateThreads: gateThreads(maxThreads)},
+	}
+	baseline := map[[2]int]float64{}               // (threads, m) -> per-op mops
+	audits := map[[4]int]benchfmt.CounterQuality{} // (m, d, s, k) -> deviation audit
 	for _, threads := range harness.ThreadCounts(maxThreads) {
+		// Exact fetch-and-add reference (the scalability-collapse baseline of
+		// Figure 1a; not part of the speedup gate).
 		var exact atomic.Uint64
 		ops, elapsed := harness.RunTimed(threads, dur, func(id int, stop *atomic.Bool) int64 {
 			var n int64
@@ -283,38 +251,102 @@ func runMultiCounterSweep(dur time.Duration, maxThreads, mfactor int, seed uint6
 			}
 			return n
 		})
-		rep.Points = append(rep.Points, MCPoint{
+		rep.Points = append(rep.Points, benchfmt.MCPoint{
 			Threads: threads, Variant: "exact-faa",
 			Ops: ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
 		})
 
-		m := mfactor * threads
-		mc := core.NewMultiCounter(m)
-		ops, elapsed = harness.RunTimed(threads, dur, func(id int, stop *atomic.Bool) int64 {
-			h := mc.NewHandle(seed + uint64(id) + 1)
-			var n int64
-			for !stop.Load() {
-				h.Increment()
-				n++
-			}
-			return n
-		})
-		rep.Points = append(rep.Points, MCPoint{
-			Threads: threads, Variant: "multicounter", M: m,
-			Ops: ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
-		})
+		for _, mf := range []int{mfactor, 2 * mfactor, 4 * mfactor} {
+			m := mf * threads
+			runMultiCounterPoints(rep, baseline, audits, threads, m, dur, seed)
+		}
 	}
+	rep.Summary.MeetsTarget = rep.Summary.BestWithinEnvelopeSpeedup >= 1.5
 	return rep
 }
 
-func writeReport(path string, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
-		os.Exit(1)
+// runMultiCounterPoints measures every (choices, stickiness, batch) setting
+// at one (threads, m) grid point, best-of-reps like the queue sweep.
+func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, audits map[[4]int]benchfmt.CounterQuality, threads, m int, dur time.Duration, seed uint64) {
+	const reps = 3
+	for _, g := range counterSweep {
+		var bestOps int64
+		var bestElapsed time.Duration
+		var bestMops float64
+		for attempt := 0; attempt < reps; attempt++ {
+			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+				Counters: m, Choices: g.d, Stickiness: g.stick, Batch: g.batch,
+			})
+			ops, elapsed := harness.RunTimed(threads, dur, func(id int, stop *atomic.Bool) int64 {
+				h := mc.NewHandle(seed + 100 + uint64(id))
+				var n int64
+				for !stop.Load() {
+					h.Increment()
+					n++
+				}
+				return n
+			})
+			if mops := stats.Throughput(ops, elapsed.Seconds()); mops > bestMops {
+				bestOps, bestElapsed, bestMops = ops, elapsed, mops
+			}
+		}
+		akey := [4]int{m, g.d, g.stick, g.batch}
+		if _, done := audits[akey]; !done {
+			audits[akey] = measureCounterQuality(m, g.d, g.stick, g.batch, seed)
+		}
+		audit := audits[akey]
+		pt := benchfmt.MCPoint{
+			Threads:    threads,
+			Variant:    "multicounter",
+			M:          m,
+			Choices:    g.d,
+			Stickiness: g.stick,
+			Batch:      g.batch,
+			Ops:        bestOps,
+			Seconds:    bestElapsed.Seconds(),
+			Mops:       bestMops,
+			Quality:    &audit,
+		}
+		key := [2]int{threads, m}
+		if g.d == 2 && g.stick == 1 && g.batch == 1 {
+			baseline[key] = pt.Mops
+		}
+		if base := baseline[key]; base > 0 {
+			pt.Speedup = pt.Mops / base
+		}
+		rep.Points = append(rep.Points, pt)
+		if threads >= rep.Summary.GateThreads && pt.Speedup > rep.Summary.BestSpeedup {
+			rep.Summary.BestSpeedup = pt.Speedup
+			rep.Summary.Best = pt
+		}
+		if threads >= rep.Summary.GateThreads && audit.WithinEnvelope && pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
+			rep.Summary.BestWithinEnvelopeSpeedup = pt.Speedup
+			rep.Summary.BestWithinEnvelope = pt
+		}
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+}
+
+// measureCounterQuality runs the single-threaded deviation measurement of
+// cmd/quality (quality.MeasureCounterDeviation) and scores the mean against
+// the m·log m envelope, reporting the max deviation alongside.
+func measureCounterQuality(m, d, stickiness, batch int, seed uint64) benchfmt.CounterQuality {
+	const incs, samples = 200_000, 50
+	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+		Counters: m, Choices: d, Stickiness: stickiness, Batch: batch,
+	})
+	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed+1), incs, samples, nil)
+	env := dlin.Envelope(m)
+	return benchfmt.CounterQuality{
+		MaxAbsDeviation:  dev.MaxAbsError,
+		MeanAbsDeviation: dev.MeanAbsError,
+		MaxGap:           dev.MaxGap,
+		Envelope:         env,
+		WithinEnvelope:   dev.MeanAbsError <= env,
+	}
+}
+
+func writeReport(path string, v any) {
+	if err := benchfmt.WriteFile(path, v); err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,50 +1,63 @@
 // Command multicounter-bench regenerates Figure 1(a): throughput of the
-// MultiCounter under contention, as a function of the number of threads, for
-// several ratios C = m/n between counters and threads, against the exact
-// fetch-and-increment baseline.
+// MultiCounter under contention, as a function of the number of threads,
+// against the exact fetch-and-increment baseline, for the counter sizes
+// m ∈ {mfactor, 2·mfactor, 4·mfactor} × threads — and, beyond the paper, for
+// any amortised (choices, stickiness, batch) setting.
+//
+// It accepts the same flag names as cmd/benchall (-dur, -maxthreads,
+// -mfactor, -out, -seed) so the two drivers cannot drift apart again; -json
+// emits the MCReport point schema (internal/benchfmt) instead
+// of a human-readable table, and the tool always announces the schema
+// version it emits.
 //
 // Usage:
 //
-//	multicounter-bench [-dur 500ms] [-maxthreads N] [-ratios 1,2,4,8] [-csv]
+//	multicounter-bench [-dur 500ms] [-maxthreads 8] [-mfactor 4]
+//	                   [-choices 2] [-stickiness 1] [-batch 1]
+//	                   [-csv|-json] [-out .] [-seed 5]
 //
-// Output is one row per (threads, variant): millions of increments per
-// second during the measurement window.
+// Table output is one row per (threads, variant): millions of increments per
+// second during the measurement window, plus the closing bin gap.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/harness"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
 func main() {
 	dur := flag.Duration("dur", 500*time.Millisecond, "measurement window per point")
 	maxThreads := flag.Int("maxthreads", 8, "largest thread count in the sweep")
-	ratioList := flag.String("ratios", "1,2,4,8", "comma-separated C = counters/threads ratios")
+	mfactor := flag.Int("mfactor", 4, "counters per thread (sweeps m = {1,2,4}·mfactor·threads)")
+	choices := flag.Int("choices", 2, "random choices d per increment")
+	stickiness := flag.Int("stickiness", 1, "operation stickiness window s")
+	batch := flag.Int("batch", 1, "increments buffered per shared publish k")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
-	seed := flag.Uint64("seed", 42, "PRNG seed")
+	jsonOut := flag.Bool("json", false, "write BENCH_multicounter_fig1a.json points to -out instead of a table")
+	out := flag.String("out", ".", "directory for the JSON report (with -json)")
+	seed := flag.Uint64("seed", 5, "PRNG seed")
 	flag.Parse()
 
-	var ratios []int
-	for _, s := range strings.Split(*ratioList, ",") {
-		r, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || r <= 0 {
-			fmt.Fprintf(os.Stderr, "bad ratio %q\n", s)
-			os.Exit(2)
-		}
-		ratios = append(ratios, r)
+	if *mfactor < 1 || *choices < 1 || *maxThreads < 1 {
+		fmt.Fprintln(os.Stderr, "multicounter-bench: -mfactor, -choices and -maxthreads must be >= 1")
+		os.Exit(2)
 	}
+	fmt.Fprintf(os.Stderr, "multicounter-bench: emitting benchfmt schema v%d\n", benchfmt.SchemaVersion)
 
+	rep := &benchfmt.MCReport{
+		Bench: "multicounter-figure-1a", Schema: benchfmt.SchemaVersion,
+		Env: benchfmt.CaptureEnv(), DurMS: dur.Milliseconds(),
+	}
 	tb := harness.NewTable("Figure 1(a): MultiCounter scalability",
 		"threads", "variant", "mops", "gap")
 	for _, threads := range harness.ThreadCounts(*maxThreads) {
@@ -59,26 +72,45 @@ func main() {
 			return n
 		})
 		tb.Add(threads, "exact-faa", stats.Throughput(ops, elapsed.Seconds()), 0)
+		rep.Points = append(rep.Points, benchfmt.MCPoint{
+			Threads: threads, Variant: "exact-faa",
+			Ops: ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
+		})
 
-		for _, c := range ratios {
-			m := c * threads
-			mc := core.NewMultiCounter(m)
-			streams := rng.Streams(*seed, threads)
+		for _, mf := range []int{*mfactor, 2 * *mfactor, 4 * *mfactor} {
+			m := mf * threads
+			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+				Counters: m, Choices: *choices, Stickiness: *stickiness, Batch: *batch,
+			})
 			ops, elapsed := harness.RunTimed(threads, *dur, func(id int, stop *atomic.Bool) int64 {
+				h := mc.NewHandle(*seed + uint64(id) + 1)
 				var n int64
 				for !stop.Load() {
-					mc.Increment(streams[id])
+					h.Increment()
 					n++
 				}
 				return n
 			})
-			tb.Add(threads, fmt.Sprintf("multicounter[C=%d]", c),
+			tb.Add(threads, fmt.Sprintf("multicounter[C=%d,d=%d,s=%d,k=%d]", mf, *choices, *stickiness, *batch),
 				stats.Throughput(ops, elapsed.Seconds()), mc.Gap())
+			rep.Points = append(rep.Points, benchfmt.MCPoint{
+				Threads: threads, Variant: "multicounter", M: m,
+				Choices: mc.Choices(), Stickiness: mc.Stickiness(), Batch: mc.Batch(),
+				Ops: ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
+			})
 		}
 	}
-	if *csv {
+	switch {
+	case *jsonOut:
+		path := filepath.Join(*out, "BENCH_multicounter_fig1a.json")
+		if err := benchfmt.WriteFile(path, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "multicounter-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (schema v%d, %d points)\n", path, benchfmt.SchemaVersion, len(rep.Points))
+	case *csv:
 		tb.WriteCSV(os.Stdout)
-	} else {
+	default:
 		tb.WriteMarkdown(os.Stdout)
 	}
 }

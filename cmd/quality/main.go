@@ -1,22 +1,28 @@
 // Command quality regenerates Figure 1(b): the quality of the MultiCounter
-// in a single-threaded execution with 64 counters — the value returned by
-// Read over time against the true increment count, and the maximum gap
-// between bins over time.
+// in a single-threaded execution — the value returned by Read over time
+// against the true increment count, and the maximum gap between bins over
+// time — for any (choices, stickiness, batch) setting, with a closing
+// verdict scoring the mean deviation against the O(m·log m) envelope of
+// Theorem 6.1 (the same audit cmd/benchall attaches per sweep point).
 //
 // With -queue it instead measures the MultiQueue's dequeue rank-error
-// distribution for a configurable (stickiness, batch) setting against the
-// O(m·log m) envelope of Theorem 7.1 — the quality re-verification that must
-// accompany any fast-path change (the sticky/batched mode trades rank
-// quality for throughput, and this is where the trade is audited).
+// distribution for a configurable (choices, stickiness, batch) setting
+// against the O(m·log m) envelope of Theorem 7.1 — the quality
+// re-verification that must accompany any fast-path change (the
+// sticky/batched mode trades quality for throughput, and this is where the
+// trade is audited).
 //
 // The paper measures quality single-threaded because "it is not clear how to
 // order the concurrent read steps"; the dlcheck tool provides the concurrent
 // counterpart via explicit linearization stamps.
 //
+// The command exits 1 when the measured mean exceeds the envelope, so it can
+// gate scripts.
+//
 // Usage:
 //
-//	quality [-m 64] [-incs 1000000] [-samples 50] [-csv]
-//	quality -queue [-m 64] [-ops 200000] [-stickiness 8] [-batch 8] [-csv]
+//	quality [-m 64] [-incs 1000000] [-samples 50] [-choices 2] [-stickiness 1] [-batch 1] [-csv]
+//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-csv]
 package main
 
 import (
@@ -28,7 +34,6 @@ import (
 	"repro/internal/dlin"
 	"repro/internal/harness"
 	"repro/internal/quality"
-	"repro/internal/rng"
 )
 
 func main() {
@@ -37,8 +42,9 @@ func main() {
 	samples := flag.Int64("samples", 50, "number of sample points")
 	queue := flag.Bool("queue", false, "measure MultiQueue dequeue rank error instead of counter quality")
 	ops := flag.Int("ops", 200_000, "enqueue+dequeue pairs for -queue")
-	stickiness := flag.Int("stickiness", 1, "operation stickiness window for -queue")
-	batch := flag.Int("batch", 1, "batching factor for -queue")
+	choices := flag.Int("choices", 2, "random choices d per increment (or dequeue with -queue)")
+	stickiness := flag.Int("stickiness", 1, "operation stickiness window")
+	batch := flag.Int("batch", 1, "batching factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
 	seed := flag.Uint64("seed", 7, "PRNG seed")
 	flag.Parse()
@@ -47,16 +53,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quality: -m must be >= 1")
 		os.Exit(2)
 	}
+	if *choices < 1 {
+		fmt.Fprintln(os.Stderr, "quality: -choices must be >= 1")
+		os.Exit(2)
+	}
+	if *stickiness < 0 || *batch < 0 {
+		fmt.Fprintln(os.Stderr, "quality: -stickiness and -batch must be >= 0")
+		os.Exit(2)
+	}
 	if *queue {
 		if *ops < 1 {
 			fmt.Fprintln(os.Stderr, "quality: -ops must be >= 1")
 			os.Exit(2)
 		}
-		if *stickiness < 0 || *batch < 0 {
-			fmt.Fprintln(os.Stderr, "quality: -stickiness and -batch must be >= 0")
-			os.Exit(2)
-		}
-		if !runQueueQuality(*m, *ops, *stickiness, *batch, *seed, *csv) {
+		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, *seed, *csv) {
 			os.Exit(1)
 		}
 		return
@@ -66,33 +76,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quality: -incs and -samples must be >= 1")
 		os.Exit(2)
 	}
-	mc := core.NewMultiCounter(*m)
-	r := rng.NewXoshiro256(*seed)
-	every := *incs / *samples
-	if every == 0 {
-		every = 1
+	if !runCounterQuality(*m, *incs, *samples, *choices, *stickiness, *batch, *seed, *csv) {
+		os.Exit(1)
 	}
+}
 
+// runCounterQuality drives a single-threaded MultiCounter handle (with the
+// full sticky/batched configuration) through the shared deviation
+// measurement (quality.MeasureCounterDeviation — the exact loop the benchall
+// gate scores), tabulating the Figure 1(b) time series from its sample
+// callback and closing with the envelope verdict on the mean absolute
+// deviation. The verdict goes to stderr so the table — a purely numeric
+// time series — stays machine-parseable under -csv. Reports whether the
+// mean stayed inside the envelope.
+func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch int, seed uint64, csv bool) bool {
+	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+		Counters: m, Choices: choices, Stickiness: stickiness, Batch: batch,
+	})
 	tb := harness.NewTable(
-		fmt.Sprintf("Figure 1(b): MultiCounter quality (single thread, m=%d)", *m),
+		fmt.Sprintf("Figure 1(b): MultiCounter quality (single thread, m=%d, d=%d, s=%d, k=%d)",
+			m, mc.Choices(), mc.Stickiness(), mc.Batch()),
 		"increments", "read-value", "abs-error", "max-gap", "envelope(m log m)")
-	envelope := float64(*m) * log2f(*m)
-	for t := int64(1); t <= *incs; t++ {
-		mc.Increment(r)
-		if t%every == 0 {
-			v := mc.Read(r)
-			absErr := int64(v) - t
-			if absErr < 0 {
-				absErr = -absErr
-			}
-			tb.Add(t, v, absErr, mc.Gap(), envelope)
-		}
+	envelope := dlin.Envelope(m)
+	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed), int(incs), int(samples),
+		func(issued, read, absErr, gap uint64) {
+			tb.Add(issued, read, absErr, gap, envelope)
+		})
+	within := dev.MeanAbsError <= envelope
+	verdict := "PASS"
+	if !within {
+		verdict = "FAIL"
 	}
-	if *csv {
+	if csv {
 		tb.WriteCSV(os.Stdout)
 	} else {
 		tb.WriteMarkdown(os.Stdout)
 	}
+	fmt.Fprintf(os.Stderr, "mean-within-envelope: %s (mean %.2f, max %d, max-gap %d, envelope %.0f)\n",
+		verdict, dev.MeanAbsError, dev.MaxAbsError, dev.MaxGap, envelope)
+	return within
 }
 
 // runQueueQuality drives a single-threaded sticky/batched MultiQueue through
@@ -101,9 +123,9 @@ func main() {
 // logically enqueued labels, exactly like the dlin queue-spec replay. It
 // reports the distribution against Theorem 7.1's scales and returns whether
 // the measured mean lies inside the O(m·log m) envelope.
-func runQueueQuality(m, ops, stickiness, batch int, seed uint64, csv bool) bool {
+func runQueueQuality(m, ops, choices, stickiness, batch int, seed uint64, csv bool) bool {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
-		Queues: m, Seed: seed, Stickiness: stickiness, Batch: batch,
+		Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
 	envelope := dlin.Envelope(m)
@@ -116,8 +138,8 @@ func runQueueQuality(m, ops, stickiness, batch int, seed uint64, csv bool) bool 
 	// Report the normalized knobs (0 becomes 1), not the raw flags, so the
 	// header names the configuration actually measured.
 	tb := harness.NewTable(
-		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, stickiness=%d, batch=%d, single thread)",
-			m, q.Stickiness(), q.Batch()),
+		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, single thread)",
+			m, q.Choices(), q.Stickiness(), q.Batch()),
 		"metric", "value", "theory-scale")
 	tb.Add("mean", mean, fmt.Sprintf("O(m)=%d", m))
 	tb.Add("p50", sample.Quantile(0.5), "")
@@ -131,12 +153,4 @@ func runQueueQuality(m, ops, stickiness, batch int, seed uint64, csv bool) bool 
 		tb.WriteMarkdown(os.Stdout)
 	}
 	return within
-}
-
-func log2f(m int) float64 {
-	l := 0.0
-	for v := m; v > 1; v >>= 1 {
-		l++
-	}
-	return l
 }

@@ -8,17 +8,24 @@
 //   - MultiCounter — a scalable approximate counter (Algorithm 1). Reads are
 //     within O(m·log m) of the true increment count, in expectation and
 //     w.h.p., provided the shard count m is a large constant multiple of the
-//     thread count (Theorem 6.1).
+//     thread count (Theorem 6.1). MultiCounterConfig{Choices, Stickiness,
+//     Batch} enables d-choice sampling and the amortised fast path: handles
+//     stick to their sampled shards for Stickiness consecutive increments
+//     and publish Batch increments with one shared atomic add. Batched
+//     handles must call Handle.Flush before quiescent audits (Exact, Gap,
+//     Snapshot); cmd/quality re-measures the deviation of any setting
+//     against the envelope.
 //   - MultiQueue — a relaxed FIFO/priority queue (Algorithm 2). Dequeues
 //     return an element of rank O(m) in expectation and O(m·log m) w.h.p.
-//     (Theorem 7.1). MultiQueueConfig.Stickiness and MultiQueueConfig.Batch
-//     enable the sticky/batched fast path: a handle re-uses its random queue
-//     choices for Stickiness consecutive operations and moves elements in
-//     and out in batches of Batch with one lock acquisition per batch.
-//     Batched handles must call MQHandle.Flush before quiescent audits
-//     (Len, Sizes, cross-handle drains); cmd/quality -queue re-measures the
-//     rank-error distribution for any (Stickiness, Batch) setting against
-//     the O(m·log m) envelope.
+//     (Theorem 7.1). MultiQueueConfig.Choices generalizes the two-choice
+//     dequeue to d choices, and Stickiness and Batch enable the
+//     sticky/batched fast path: a handle re-uses its random queue choices
+//     for Stickiness consecutive operations and moves elements in and out in
+//     batches of Batch with one lock acquisition per batch. Batched handles
+//     must call MQHandle.Flush before quiescent audits (Len, Sizes,
+//     cross-handle drains); cmd/quality -queue re-measures the rank-error
+//     distribution for any (Choices, Stickiness, Batch) setting against the
+//     O(m·log m) envelope.
 //   - Timestamps — a relaxed timestamp oracle built on the MultiCounter,
 //     the drop-in replacement for fetch-and-add global clocks evaluated on
 //     TL2 in the paper's Section 8 (see repro/internal/stm for the STM).
@@ -48,7 +55,16 @@ import (
 // MultiCounter is the relaxed approximate counter of Algorithm 1.
 type MultiCounter = core.MultiCounter
 
-// Handle is a per-goroutine view of a MultiCounter.
+// MultiCounterConfig configures NewMultiCounterConfig: shard count m plus
+// the Choices/Stickiness/Batch fast-path axes (zero values select the
+// paper's per-op two-choice defaults).
+type MultiCounterConfig = core.MultiCounterConfig
+
+// MultiCounterOption adjusts the convenience constructor NewMultiCounter.
+type MultiCounterOption = core.MultiCounterOption
+
+// Handle is a per-goroutine view of a MultiCounter. In batched mode it owns
+// the increment buffer; call Handle.Flush at quiescence.
 type Handle = core.Handle
 
 // MultiQueue is the relaxed queue of Algorithm 2.
@@ -76,16 +92,31 @@ const (
 	BackingSkiplist = cpq.BackingSkiplist
 )
 
-// NewMultiCounter returns a MultiCounter over m atomic counters. For the
-// paper's guarantees m should be a large constant multiple of the number of
+// NewMultiCounter returns a MultiCounter over m atomic counters with the
+// paper's per-op two-choice defaults, adjusted by opts. For the paper's
+// guarantees m should be a large constant multiple of the number of
 // concurrent threads; in practice m ≈ 4–8× threads already balances well
 // (Figure 1a).
-func NewMultiCounter(m int, opts ...core.MultiCounterOption) *MultiCounter {
+func NewMultiCounter(m int, opts ...MultiCounterOption) *MultiCounter {
 	return core.NewMultiCounter(m, opts...)
+}
+
+// NewMultiCounterConfig returns a MultiCounter with the full configuration,
+// including the d-choice and sticky/batched fast-path axes.
+func NewMultiCounterConfig(cfg MultiCounterConfig) *MultiCounter {
+	return core.NewMultiCounterConfig(cfg)
 }
 
 // WithChoices sets the number of random choices d per increment (default 2).
 var WithChoices = core.WithChoices
+
+// WithStickiness sets the sticky sampling window s (default 1: fresh choices
+// every increment).
+var WithStickiness = core.WithStickiness
+
+// WithBatch sets the number of increments a handle buffers per shared atomic
+// publish (default 1: per-operation publishing).
+var WithBatch = core.WithBatch
 
 // NewMultiQueue returns a MultiQueue with the given configuration.
 func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue { return core.NewMultiQueue(cfg) }

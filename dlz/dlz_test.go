@@ -50,6 +50,69 @@ func TestMultiCounterChoicesOption(t *testing.T) {
 	}
 }
 
+func TestMultiCounterConfigPublicAPI(t *testing.T) {
+	// The amortised fast-path knobs must be reachable through the public
+	// config, and the batched contract (Flush before quiescent audits) must
+	// hold end to end.
+	mc := dlz.NewMultiCounterConfig(dlz.MultiCounterConfig{
+		Counters: 32, Choices: 4, Stickiness: 8, Batch: 8,
+	})
+	if mc.Choices() != 4 || mc.Stickiness() != 8 || mc.Batch() != 8 {
+		t.Fatalf("knobs not plumbed: d=%d s=%d k=%d", mc.Choices(), mc.Stickiness(), mc.Batch())
+	}
+	h := mc.NewHandle(1)
+	const n = 1003 // not a multiple of the batch: Flush publishes a partial
+	for i := 0; i < n; i++ {
+		h.Increment()
+	}
+	if got := int(mc.Exact()) + h.Buffered(); got != n {
+		t.Fatalf("Exact+Buffered = %d mid-run, want %d", got, n)
+	}
+	h.Flush()
+	if h.Buffered() != 0 || h.BufferedWeight() != 0 {
+		t.Fatal("buffer not empty after Flush")
+	}
+	if mc.Exact() != n {
+		t.Fatalf("Exact = %d after Flush, want %d", mc.Exact(), n)
+	}
+}
+
+func TestMultiCounterOptionsPublicAPI(t *testing.T) {
+	mc := dlz.NewMultiCounter(16, dlz.WithStickiness(4), dlz.WithBatch(4))
+	if mc.Stickiness() != 4 || mc.Batch() != 4 {
+		t.Fatalf("options not plumbed: s=%d k=%d", mc.Stickiness(), mc.Batch())
+	}
+	h := mc.NewHandle(2)
+	for i := 0; i < 100; i++ {
+		h.Increment()
+	}
+	h.Flush()
+	if mc.Exact() != 100 {
+		t.Fatalf("Exact = %d", mc.Exact())
+	}
+}
+
+func TestMultiQueueChoicesPublicAPI(t *testing.T) {
+	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{Queues: 8, Seed: 11, Choices: 4})
+	if q.Choices() != 4 {
+		t.Fatalf("Choices = %d", q.Choices())
+	}
+	h := q.NewHandle(1)
+	for v := uint64(0); v < 200; v++ {
+		h.Enqueue(v)
+	}
+	drained := 0
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != 200 {
+		t.Fatalf("drained %d", drained)
+	}
+}
+
 func TestMultiQueuePublicAPI(t *testing.T) {
 	for _, backing := range []dlz.MultiQueueConfig{
 		{Queues: 8, Backing: dlz.BackingBinary},

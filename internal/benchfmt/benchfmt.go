@@ -1,0 +1,179 @@
+// Package benchfmt defines the machine-readable benchmark report schema the
+// cmd/ tools share: the JSON shapes committed as BENCH_multiqueue.json and
+// BENCH_multicounter.json, so the performance trajectory is tracked across
+// PRs instead of living in scrollback. cmd/benchall writes both reports;
+// cmd/multicounter-bench emits the counter report standalone. Keeping the
+// types in one package guarantees the tools cannot drift apart on flag or
+// schema shape again (they did after PR 1), and gives the schema a single
+// version number.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the report layout. Bump it whenever a field is
+// added, renamed or re-scored, so downstream consumers of the committed
+// BENCH_*.json files can dispatch on "schema".
+//
+// Version history:
+//
+//	1 — PR 1: MultiQueue sweep with rank audits; MultiCounter throughput-only.
+//	2 — PR 2: schema field added; MultiCounter sweep gains the
+//	    Choices × Stickiness × Batch grid, per-setting max-deviation audits,
+//	    and a gated summary symmetric to the MultiQueue's.
+const SchemaVersion = 2
+
+// Env captures the machine context a JSON report was produced on.
+type Env struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numcpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Generated  string `json:"generated"`
+}
+
+// CaptureEnv returns the Env of the current process, stamped now.
+func CaptureEnv() Env {
+	return Env{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// RankQuality is the single-threaded dequeue rank-error audit of one
+// (m, stickiness, batch) MultiQueue setting against Theorem 7.1's O(m·log m)
+// envelope — the same measurement cmd/quality -queue reports interactively.
+type RankQuality struct {
+	RankErrorMean  float64 `json:"rank_error_mean"`
+	Envelope       float64 `json:"envelope_m_log_m"`
+	WithinEnvelope bool    `json:"within_envelope"`
+}
+
+// MQPoint is one MultiQueue sweep measurement.
+type MQPoint struct {
+	Threads    int     `json:"threads"`
+	M          int     `json:"m"`
+	Stickiness int     `json:"stickiness"`
+	Batch      int     `json:"batch"`
+	Ops        int64   `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	Mops       float64 `json:"mops"`
+	// Speedup is Mops over the (Stickiness=1, Batch=1) baseline at the same
+	// (Threads, M); 1.0 for the baseline itself.
+	Speedup float64     `json:"speedup_vs_baseline"`
+	Quality RankQuality `json:"quality"`
+}
+
+// MQSummary is the headline the MultiQueue perf trajectory tracks.
+type MQSummary struct {
+	// GateThreads is the thread count the summary gates at: 8, or the
+	// largest swept count when -maxthreads is below 8 (so small sweeps
+	// still produce a meaningful summary instead of a guaranteed failure).
+	GateThreads int `json:"gate_threads"`
+	// BestSpeedup is the largest baseline-relative speedup observed at
+	// Threads >= GateThreads, and Best the point that achieved it (the
+	// throughput ceiling, whatever its rank quality).
+	BestSpeedup float64 `json:"best_speedup_at_gate_threads"`
+	Best        MQPoint `json:"best_point"`
+	// BestWithinEnvelope restricts the same search to points whose measured
+	// rank-error mean stays inside the m·log m envelope — speedup that keeps
+	// Theorem 7.1's quality guarantee.
+	BestWithinEnvelopeSpeedup float64 `json:"best_within_envelope_speedup"`
+	BestWithinEnvelope        MQPoint `json:"best_within_envelope_point"`
+	// MeetsTarget reports BestWithinEnvelopeSpeedup >= 1.5, the floor this
+	// pipeline gates: the fast path must win without giving up the envelope.
+	MeetsTarget bool `json:"meets_1_5x_target_within_envelope"`
+}
+
+// MQReport is the BENCH_multiqueue.json schema.
+type MQReport struct {
+	Bench   string    `json:"bench"`
+	Schema  int       `json:"schema"`
+	Env     Env       `json:"env"`
+	DurMS   int64     `json:"dur_ms"`
+	Points  []MQPoint `json:"points"`
+	Summary MQSummary `json:"summary"`
+}
+
+// CounterQuality is the single-threaded deviation audit of one
+// (m, choices, stickiness, batch) MultiCounter setting against Theorem 6.1's
+// O(m·log m) envelope — the same measurement cmd/quality reports
+// interactively. MaxAbsDeviation is the max-deviation audit the trajectory
+// records; WithinEnvelope scores the mean (the statistic the MultiQueue gate
+// also uses), since batched flushes land weight in k-sized lumps that spike
+// the max far above the steady state.
+type CounterQuality struct {
+	MaxAbsDeviation  uint64  `json:"max_abs_deviation"`
+	MeanAbsDeviation float64 `json:"mean_abs_deviation"`
+	MaxGap           uint64  `json:"max_gap"`
+	Envelope         float64 `json:"envelope_m_log_m"`
+	WithinEnvelope   bool    `json:"within_envelope"`
+}
+
+// MCPoint is one MultiCounter sweep measurement. The exact fetch-and-add
+// baseline is recorded with Variant "exact-faa" and zero M/Choices/…; the
+// relaxed counter uses Variant "multicounter".
+type MCPoint struct {
+	Threads    int     `json:"threads"`
+	Variant    string  `json:"variant"`
+	M          int     `json:"m,omitempty"`
+	Choices    int     `json:"choices,omitempty"`
+	Stickiness int     `json:"stickiness,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	Ops        int64   `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	Mops       float64 `json:"mops"`
+	// Speedup is Mops over the per-op two-choice baseline
+	// (Choices=2, Stickiness=1, Batch=1) at the same (Threads, M); 1.0 for
+	// the baseline itself and 0 for the exact-faa reference, which is not a
+	// relaxed-counter configuration.
+	Speedup float64         `json:"speedup_vs_baseline,omitempty"`
+	Quality *CounterQuality `json:"quality,omitempty"`
+}
+
+// MCSummary is the headline the MultiCounter perf trajectory tracks,
+// symmetric to MQSummary: best amortised speedup over the per-op baseline at
+// the gate thread count, restricted to settings whose deviation audit stays
+// within the envelope, gated at 1.5x.
+type MCSummary struct {
+	GateThreads               int     `json:"gate_threads"`
+	BestSpeedup               float64 `json:"best_speedup_at_gate_threads"`
+	Best                      MCPoint `json:"best_point"`
+	BestWithinEnvelopeSpeedup float64 `json:"best_within_envelope_speedup"`
+	BestWithinEnvelope        MCPoint `json:"best_within_envelope_point"`
+	MeetsTarget               bool    `json:"meets_1_5x_target_within_envelope"`
+}
+
+// MCReport is the BENCH_multicounter.json schema. Summary is nil for
+// points-only reports (cmd/multicounter-bench's figure sweep), so a report
+// that never ran the gate cannot be misread as a failed one.
+type MCReport struct {
+	Bench   string     `json:"bench"`
+	Schema  int        `json:"schema"`
+	Env     Env        `json:"env"`
+	DurMS   int64      `json:"dur_ms"`
+	Points  []MCPoint  `json:"points"`
+	Summary *MCSummary `json:"summary,omitempty"`
+}
+
+// WriteFile marshals a report as indented JSON (with a trailing newline, so
+// the committed files stay diff-friendly) and writes it to path.
+func WriteFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	return nil
+}

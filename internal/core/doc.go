@@ -10,8 +10,9 @@
 //
 //   - state is spread over m independent linearizable shards (atomic
 //     counters; lock-protected priority queues);
-//   - updates that must be "small" (increments; dequeues) sample two shards
-//     and operate on the apparently better one — the two-choice rule;
+//   - updates that must be "small" (increments; dequeues) sample d shards
+//     (the paper's default d = 2) and operate on the apparently better one —
+//     the d-choice rule, implemented once as the shared Sampler;
 //   - the structure is distributionally linearizable (Section 5) to a
 //     sequential relaxed process whose per-operation cost is O(m·log m)
 //     w.h.p.: counter reads deviate by at most O(m·log m) from the true
@@ -21,6 +22,14 @@
 // Random choices come from caller-owned generators: every worker obtains a
 // Handle (one per goroutine) carrying its own rng stream, so the hot paths
 // share no mutable state beyond the shards themselves.
+//
+// Beyond the paper, both structures support an amortised sticky/batched
+// fast path configured through MultiCounterConfig and MultiQueueConfig
+// (Choices, Stickiness, Batch): handles re-use their sampled candidates for
+// a window of operations and move whole batches per shared synchronization
+// step. The quality cost of any setting is measured — not assumed — by
+// repro/internal/quality and the cmd/quality and cmd/benchall drivers; see
+// DESIGN.md §2 for the handle lifecycle and the measured trade-offs.
 //
 // The exported facade for downstream users is the root package repro/dlz,
 // which re-exports these types with a stable API.

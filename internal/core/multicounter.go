@@ -7,77 +7,159 @@ import (
 )
 
 // MultiCounter is the relaxed approximate counter of Algorithm 1: m atomic
-// counters; Increment applies the two-choice rule (read two random counters,
-// increment the one that appeared smaller); Read samples one counter and
-// scales by m to keep the magnitude of the true total.
+// counters; Increment applies the d-choice rule (read d random counters,
+// increment the one that appeared smallest; the paper's default is d = 2);
+// Read samples one counter and scales by m to keep the magnitude of the true
+// total.
 //
 // With m ≥ C·n for the analysis constant C, Theorem 6.1 shows the value
 // returned by Read is within O(m·log m) of the number of completed
 // increments, in expectation and w.h.p., at every point of every execution
 // under an oblivious scheduler.
+//
+// Beyond the paper, MultiCounterConfig{Choices, Stickiness, Batch} enables
+// the same amortised fast path the MultiQueue carries: handles stick to
+// their sampled shard candidates for a window of operations and accumulate
+// increments locally, publishing a whole batch with one shared atomic add
+// (DESIGN.md §2). cmd/quality and cmd/benchall audit the deviation cost of
+// any setting against the m·log₂m envelope.
 type MultiCounter struct {
 	shards *counters.Sharded
 	m      int
 	d      int
+	stick  int
+	batch  int
 }
 
-// MultiCounterOption configures NewMultiCounter.
-type MultiCounterOption func(*MultiCounter)
+// MultiCounterConfig configures NewMultiCounter. The zero value of optional
+// fields selects the paper's defaults (two fresh choices per increment, no
+// batching — Algorithm 1 exactly).
+type MultiCounterConfig struct {
+	// Counters is m, the number of atomic counters (Algorithm 1's bins).
+	// Required. For Theorem 6.1's guarantees m should be a large constant
+	// multiple of the thread count; m ≈ 4–8× threads balances well in
+	// practice (Figure 1a).
+	Counters int
+	// Choices is d, the number of random counters an increment samples
+	// before incrementing the smallest. 0 selects the paper's d = 2;
+	// d = 1 is the divergent single-choice process (ablation A1); d > 2
+	// trades extra shared reads for a tighter gap. Negative values panic.
+	Choices int
+	// Stickiness is the operation-stickiness window s: a handle re-uses its
+	// d sampled shard candidates for up to s consecutive increments before
+	// re-rolling, charged per increment, exactly like the MultiQueue's
+	// window (a candidate set serves max(s, Batch) increments — a batch is
+	// never split). 0 or 1 means fresh choices every operation. Larger s
+	// amortises PRNG draws at the cost of extra deviation (re-measure with
+	// cmd/quality).
+	Stickiness int
+	// Batch is the batching factor k: handles accumulate up to k increments
+	// (or Add weights) in a private buffer and publish the sum with one
+	// shared atomic add — one d-choice sample and one coherence miss per k
+	// increments instead of per increment. 0 or 1 means per-operation
+	// publishing. Buffered increments are invisible to Read/Exact/Gap until
+	// the batch flushes; call Handle.Flush at quiescence.
+	Batch int
+}
 
-// WithChoices sets the number of random choices d per increment (default 2).
-// d = 1 degenerates to the divergent single-choice process and exists for
-// ablation A1; d > 2 trades extra reads for tighter balance.
+// MultiCounterOption is a functional option for the NewMultiCounter
+// convenience constructor; options edit the MultiCounterConfig before the
+// counter is built.
+type MultiCounterOption func(*MultiCounterConfig)
+
+// WithChoices sets MultiCounterConfig.Choices, the number of random choices
+// d per increment (default 2). d = 1 degenerates to the divergent
+// single-choice process and exists for ablation A1; d > 2 trades extra reads
+// for tighter balance. d < 1 panics.
 func WithChoices(d int) MultiCounterOption {
-	return func(c *MultiCounter) {
-		if d < 1 {
-			panic("core: WithChoices needs d >= 1")
-		}
-		c.d = d
+	if d < 1 {
+		panic("core: WithChoices needs d >= 1")
 	}
+	return func(cfg *MultiCounterConfig) { cfg.Choices = d }
 }
 
-// NewMultiCounter returns a MultiCounter over m atomic counters.
+// WithStickiness sets MultiCounterConfig.Stickiness, the sticky sampling
+// window s (values below 1 normalize to 1: fresh choices every increment).
+func WithStickiness(s int) MultiCounterOption {
+	return func(cfg *MultiCounterConfig) { cfg.Stickiness = s }
+}
+
+// WithBatch sets MultiCounterConfig.Batch, the number of increments a handle
+// buffers per shared atomic publish (values below 1 normalize to 1:
+// per-operation publishing, Algorithm 1 exactly).
+func WithBatch(k int) MultiCounterOption {
+	return func(cfg *MultiCounterConfig) { cfg.Batch = k }
+}
+
+// NewMultiCounter returns a MultiCounter over m atomic counters with the
+// paper's per-operation two-choice defaults, adjusted by opts. It is the
+// convenience form of NewMultiCounterConfig.
 func NewMultiCounter(m int, opts ...MultiCounterOption) *MultiCounter {
-	if m <= 0 {
-		panic("core: NewMultiCounter needs m > 0")
-	}
-	c := &MultiCounter{shards: counters.NewSharded(m), m: m, d: 2}
+	cfg := MultiCounterConfig{Counters: m}
 	for _, o := range opts {
-		o(c)
+		o(&cfg)
 	}
-	return c
+	return NewMultiCounterConfig(cfg)
+}
+
+// NewMultiCounterConfig returns a MultiCounter with the given configuration,
+// normalizing zero-valued optional fields to the paper's defaults (Choices 2,
+// Stickiness 1, Batch 1 — Algorithm 1 exactly).
+func NewMultiCounterConfig(cfg MultiCounterConfig) *MultiCounter {
+	if cfg.Counters <= 0 {
+		panic("core: MultiCounterConfig.Counters must be > 0")
+	}
+	if cfg.Choices < 0 {
+		panic("core: MultiCounterConfig.Choices must be >= 0")
+	}
+	if cfg.Choices == 0 {
+		cfg.Choices = 2
+	}
+	if cfg.Stickiness < 1 {
+		cfg.Stickiness = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	return &MultiCounter{
+		shards: counters.NewSharded(cfg.Counters),
+		m:      cfg.Counters,
+		d:      cfg.Choices,
+		stick:  cfg.Stickiness,
+		batch:  cfg.Batch,
+	}
 }
 
 // M returns the number of underlying counters.
 func (c *MultiCounter) M() int { return c.m }
 
-// Increment applies one two-choice (generally d-choice) increment using the
-// caller-owned generator r. Reads and the update are separate atomic steps,
-// exactly as in Algorithm 1 — the value read may be stale by the time of the
-// increment, which is the concurrency the paper analyzes.
-func (c *MultiCounter) Increment(r *rng.Xoshiro256) {
-	if c.d == 1 {
-		c.shards.Inc(r.Intn(c.m))
-		return
-	}
-	best := r.Intn(c.m)
-	bestV := c.shards.Read(best)
-	for k := 1; k < c.d; k++ {
-		i := r.Intn(c.m)
-		if v := c.shards.Read(i); v < bestV {
-			best, bestV = i, v
-		}
-	}
-	c.shards.Inc(best)
-}
+// Choices returns the configured number of random choices d (>= 1).
+func (c *MultiCounter) Choices() int { return c.d }
 
-// Add applies one two-choice update of weight delta — the weighted
+// Stickiness returns the configured stickiness window s (>= 1).
+func (c *MultiCounter) Stickiness() int { return c.stick }
+
+// Batch returns the configured batching factor k (>= 1).
+func (c *MultiCounter) Batch() int { return c.batch }
+
+// Increment applies one unamortised d-choice increment using the
+// caller-owned generator r — Algorithm 1's increment, ignoring the
+// stickiness and batching configuration (handles carry that state; see
+// Handle.Increment). Reads and the update are separate atomic steps, exactly
+// as in the paper — the value read may be stale by the time of the
+// increment, which is the concurrency the analysis covers.
+func (c *MultiCounter) Increment(r *rng.Xoshiro256) { c.apply(r, 1) }
+
+// Add applies one unamortised d-choice update of weight delta — the weighted
 // balls-into-bins extension (Talwar–Wieder; Berenbrink et al., discussed in
 // the paper's related work). Theorem 7.1's potential argument covers weight
 // distributions with bounded moment generating functions, which includes any
 // fixed bounded delta; keep deltas small relative to the O(log m) gap scale
 // or the guarantee constants degrade.
-func (c *MultiCounter) Add(r *rng.Xoshiro256, delta uint64) {
+func (c *MultiCounter) Add(r *rng.Xoshiro256, delta uint64) { c.apply(r, delta) }
+
+// apply is the shared unamortised d-choice update.
+func (c *MultiCounter) apply(r *rng.Xoshiro256, delta uint64) {
 	if c.d == 1 {
 		c.shards.Add(r.Intn(c.m), delta)
 		return
@@ -94,14 +176,16 @@ func (c *MultiCounter) Add(r *rng.Xoshiro256, delta uint64) {
 }
 
 // Read returns m times the value of a uniformly random counter — the
-// approximate total (Algorithm 1's read).
+// approximate total (Algorithm 1's read, whose deviation Theorem 6.1
+// bounds by O(m·log m)).
 func (c *MultiCounter) Read(r *rng.Xoshiro256) uint64 {
 	return uint64(c.m) * c.shards.Read(r.Intn(c.m))
 }
 
-// Exact returns the sum of all counters. At quiescence this equals the
-// number of completed increments; under concurrency it is a lower bound at
-// the instant the scan ends.
+// Exact returns the sum of all counters. At quiescence (all handles flushed)
+// this equals the total published weight; under concurrency it is a lower
+// bound at the instant the scan ends. Increments still buffered by batched
+// handles are not included until those handles flush.
 func (c *MultiCounter) Exact() uint64 { return c.shards.Sum() }
 
 // Gap returns the current max − min over the counters (the quantity whose
@@ -113,38 +197,94 @@ func (c *MultiCounter) Gap() uint64 {
 }
 
 // Snapshot copies the per-counter values into dst (len must equal M) for the
-// quality experiment's bin-distribution traces.
+// quality experiment's bin-distribution traces (Figure 1b).
 func (c *MultiCounter) Snapshot(dst []uint64) { c.shards.Snapshot(dst) }
 
-// Handle binds a MultiCounter to one goroutine's private generator. All hot
-// paths go through handles so no PRNG state is shared.
+// Handle binds a MultiCounter to one goroutine's private generator and, in
+// sticky/batched mode, the handle-local fast-path state: the sticky d-choice
+// sampler and the increment buffer awaiting its batch flush. All hot paths
+// go through handles so no PRNG state is shared. A handle must be used by
+// one goroutine at a time.
 type Handle struct {
-	c *MultiCounter
-	r *rng.Xoshiro256
+	c   *MultiCounter
+	r   *rng.Xoshiro256
+	smp Sampler
+
+	// Batching state: buffered operation count and summed weight.
+	bufOps    int
+	bufWeight uint64
 }
 
-// NewHandle returns a handle whose random stream is derived from seed.
+// NewHandle returns a handle whose random stream is derived from seed,
+// inheriting the counter's Choices, Stickiness and Batch configuration.
 // Distinct workers must use distinct seeds (or rng.Streams).
 func (c *MultiCounter) NewHandle(seed uint64) *Handle {
-	return &Handle{c: c, r: rng.NewXoshiro256(seed)}
+	return &Handle{
+		c:   c,
+		r:   rng.NewXoshiro256(seed),
+		smp: NewSampler(c.m, c.d, c.stick),
+	}
 }
 
-// Increment applies one relaxed increment.
-func (h *Handle) Increment() { h.c.Increment(h.r) }
+// Increment applies one relaxed increment: an immediate sticky d-choice
+// update in per-op mode, or a buffered one in batched mode (published by the
+// k-th buffered operation or an explicit Flush).
+func (h *Handle) Increment() { h.Add(1) }
 
-// Add applies one relaxed update of weight delta.
-func (h *Handle) Add(delta uint64) { h.c.Add(h.r, delta) }
+// Add applies one relaxed update of weight delta through the same
+// sticky/batched path as Increment (the weighted extension; see
+// MultiCounter.Add for the analysis caveats).
+func (h *Handle) Add(delta uint64) {
+	if h.c.batch <= 1 {
+		i := h.smp.Best(h.r, 1, h.c.shards.Read)
+		h.smp.Charge(1)
+		h.c.shards.Add(i, delta)
+		return
+	}
+	h.bufOps++
+	h.bufWeight += delta
+	if h.bufOps >= h.c.batch {
+		h.Flush()
+	}
+}
 
-// Read returns the approximate counter value.
+// Buffered returns the number of increments (Add calls) held in this
+// handle's buffer, not yet visible to Read/Exact/Gap. Zero unless Batch > 1.
+func (h *Handle) Buffered() int { return h.bufOps }
+
+// BufferedWeight returns the summed weight of the buffered increments — the
+// amount Exact is currently short by on this handle's account. Zero unless
+// Batch > 1.
+func (h *Handle) BufferedWeight() uint64 { return h.bufWeight }
+
+// Flush publishes any buffered increments with one sticky d-choice atomic
+// add, charging the stickiness window per buffered operation. Call at
+// quiescence (before Exact/Gap/Snapshot audits); a handle with an empty
+// buffer flushes for free.
+func (h *Handle) Flush() {
+	if h.bufOps == 0 {
+		return
+	}
+	i := h.smp.Best(h.r, h.bufOps, h.c.shards.Read)
+	h.smp.Charge(h.bufOps)
+	h.c.shards.Add(i, h.bufWeight)
+	h.bufOps, h.bufWeight = 0, 0
+}
+
+// Read returns the approximate counter value (Algorithm 1's read). This
+// handle's own buffered increments are not yet reflected; Flush first if the
+// caller needs them counted.
 func (h *Handle) Read() uint64 { return h.c.Read(h.r) }
 
 // Counter returns the underlying MultiCounter.
 func (h *Handle) Counter() *MultiCounter { return h.c }
 
-// IncrementTraced performs Increment and records the operation in log with
-// stamps from rec; the linearization stamp is taken adjacent to the atomic
-// increment. Used by the dlcheck tool and the distributional-linearizability
-// integration tests.
+// IncrementTraced performs an unamortised increment and records the
+// operation in log with stamps from rec; the linearization stamp is taken
+// adjacent to the atomic increment. Traced operations always use the per-op
+// path (never the handle's batch buffer) so the stamp brackets the shared
+// memory step the dlin replay orders. Used by the dlcheck tool and the
+// distributional-linearizability integration tests.
 func (h *Handle) IncrementTraced(rec *trace.Recorder, log *trace.ThreadLog) {
 	start := rec.Stamp()
 	h.c.Increment(h.r)

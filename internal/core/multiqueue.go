@@ -10,8 +10,9 @@ import (
 
 // MultiQueue is the relaxed queue of Algorithm 2: m linearizable priority
 // queues; Enqueue stamps the element with the current clock value and adds
-// it to a random queue; Dequeue reads the heads of two random queues and
-// deletes from the one with the smaller (older / higher-priority) head.
+// it to a random queue; Dequeue reads the heads of d random queues (the
+// paper's default is d = 2) and deletes from the one with the smallest
+// (oldest / highest-priority) head.
 //
 // Used with clock priorities it is a relaxed FIFO queue whose dequeues
 // return one of the O(m·log m) oldest elements w.h.p.; used with explicit
@@ -24,6 +25,7 @@ type MultiQueue struct {
 	clk   clock.Clock
 	blk   blockClock // non-nil when clk supports block reservation
 	m     int
+	d     int
 	stick int
 	batch int
 }
@@ -49,6 +51,13 @@ type MultiQueueConfig struct {
 	Capacity int
 	// Seed feeds per-queue skiplist level generators.
 	Seed uint64
+	// Choices is d, the number of random queue heads a dequeue compares
+	// before deleting from the smallest. 0 selects the paper's d = 2;
+	// d = 1 is the divergent single-choice baseline (ablation A1); d > 2
+	// tightens rank quality at the cost of extra ReadMin traffic. Negative
+	// values panic. Enqueues always use one uniform choice, as in
+	// Algorithm 2.
+	Choices int
 	// Stickiness is the operation-stickiness window s: a handle re-uses its
 	// randomly chosen queue (for inserts) and queue pair (for removes) for
 	// up to s consecutive operations before re-rolling. The window is
@@ -82,6 +91,12 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewTick()
 	}
+	if cfg.Choices < 0 {
+		panic("core: MultiQueueConfig.Choices must be >= 0")
+	}
+	if cfg.Choices == 0 {
+		cfg.Choices = 2
+	}
 	if cfg.Stickiness < 1 {
 		cfg.Stickiness = 1
 	}
@@ -93,6 +108,7 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 		qs:    make([]*cpq.Queue, cfg.Queues),
 		clk:   cfg.Clock,
 		m:     cfg.Queues,
+		d:     cfg.Choices,
 		stick: cfg.Stickiness,
 		batch: cfg.Batch,
 	}
@@ -104,6 +120,9 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	}
 	return mq
 }
+
+// Choices returns the configured number of dequeue choices d (>= 1).
+func (q *MultiQueue) Choices() int { return q.d }
 
 // Stickiness returns the configured stickiness window s (>= 1).
 func (q *MultiQueue) Stickiness() int { return q.stick }
@@ -140,19 +159,18 @@ func (q *MultiQueue) Sizes(dst []int) {
 }
 
 // MQHandle binds a MultiQueue to one goroutine's private generator and, in
-// sticky/batched mode, the handle-local fast-path state: the current sticky
-// queue choices, the insert buffer awaiting its batch flush, and the
-// prefetched dequeue run. A handle must be used by one goroutine at a time.
+// sticky/batched mode, the handle-local fast-path state: the sticky samplers
+// holding the current queue choices, the insert buffer awaiting its batch
+// flush, and the prefetched dequeue run. A handle must be used by one
+// goroutine at a time.
 type MQHandle struct {
 	q *MultiQueue
 	r *rng.Xoshiro256
 
-	// Stickiness state: remaining window uses and the cached choices.
-	enqLeft int
-	enqIdx  int
-	deqLeft int
-	deqI    int
-	deqJ    int
+	// Sticky sampling state: one uniform choice for inserts (Algorithm 2's
+	// enqueue), d choices for removals.
+	enq Sampler
+	deq Sampler
 
 	// Batching state: pending inserts and the prefetched dequeue run.
 	inBuf  []heap.Item
@@ -165,9 +183,14 @@ type MQHandle struct {
 }
 
 // NewHandle returns a per-goroutine handle seeded with seed, inheriting the
-// MultiQueue's stickiness window and batching factor.
+// MultiQueue's choice count, stickiness window and batching factor.
 func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
-	h := &MQHandle{q: q, r: rng.NewXoshiro256(seed)}
+	h := &MQHandle{
+		q:   q,
+		r:   rng.NewXoshiro256(seed),
+		enq: NewSampler(q.m, 1, q.stick),
+		deq: NewSampler(q.m, q.d, q.stick),
+	}
 	if q.batch > 1 {
 		h.inBuf = make([]heap.Item, 0, q.batch)
 		h.outBuf = make([]heap.Item, 0, q.batch)
@@ -197,49 +220,35 @@ func (h *MQHandle) Flush() {
 	h.inBuf = h.inBuf[:0]
 }
 
-// enqTarget picks the insert queue and charges n logical operations against
-// the stickiness window: a fresh uniform draw when the window is 1,
-// otherwise the cached choice, re-rolled when the incoming batch no longer
-// fits in the remaining window. A choice therefore serves at most
-// max(stick, batch) elements — exactly stick when batch divides into it,
-// one whole batch when batch exceeds the window (a batch is never split
-// across choices). Charging per element (not per lock acquisition) keeps
-// the window comparable across batch sizes.
+// enqTarget picks the insert queue through the sticky uniform sampler and
+// charges n logical operations against the stickiness window. A choice
+// serves at most max(stick, batch) elements — exactly stick when batch
+// divides into it, one whole batch when batch exceeds the window (the
+// sampler never splits a batch across choices).
 func (h *MQHandle) enqTarget(n int) int {
-	if h.q.stick <= 1 {
-		return h.r.Intn(h.q.m)
-	}
-	if h.enqLeft < n {
-		h.enqIdx = h.r.Intn(h.q.m)
-		h.enqLeft = h.q.stick
-	}
-	h.enqLeft -= n
-	return h.enqIdx
+	i := h.enq.Candidates(h.r, n)[0]
+	h.enq.Charge(n)
+	return i
 }
 
-// deqPair picks the two-choice comparison pair, cached across the stickiness
-// window; a pair with less than a full batch of window left is expired, so
-// like enqTarget a pair serves at most max(stick, batch) elements. The
-// caller charges the window
+// deqBest picks the d-choice removal target: the sticky candidate set's
+// queue with the smallest cached top, re-read fresh on every call exactly as
+// Algorithm 2 compares possibly-stale heads. The caller charges the window
 // via deqCharge with the number of elements actually obtained; an empty or
 // contended outcome should call deqReroll so the next draw abandons a stale
-// pair early.
-func (h *MQHandle) deqPair() (i, j int) {
-	if h.q.stick <= 1 {
-		return h.r.Intn(h.q.m), h.r.Intn(h.q.m)
-	}
-	if h.deqLeft < h.q.batch {
-		h.deqI, h.deqJ = h.r.Intn(h.q.m), h.r.Intn(h.q.m)
-		h.deqLeft = h.q.stick
-	}
-	return h.deqI, h.deqJ
+// candidate set early.
+func (h *MQHandle) deqBest() int {
+	return h.deq.Best(h.r, h.q.batch, h.readTop)
 }
 
-// deqCharge consumes n logical operations from the sticky dequeue window.
-func (h *MQHandle) deqCharge(n int) { h.deqLeft -= n }
+// readTop adapts cpq.ReadMin to the sampler's load signature.
+func (h *MQHandle) readTop(i int) uint64 { return h.q.qs[i].ReadMin() }
 
-// deqReroll expires the sticky dequeue pair so the next draw is fresh.
-func (h *MQHandle) deqReroll() { h.deqLeft = 0 }
+// deqCharge consumes n logical operations from the sticky dequeue window.
+func (h *MQHandle) deqCharge(n int) { h.deq.Charge(n) }
+
+// deqReroll expires the sticky dequeue candidates so the next draw is fresh.
+func (h *MQHandle) deqReroll() { h.deq.Expire() }
 
 // insert routes one stamped element through the batching layer: direct Add
 // in per-op mode, or buffer-and-flush in batched mode.
@@ -289,14 +298,14 @@ func (h *MQHandle) EnqueuePriority(priority, value uint64) {
 	h.insert(priority, value)
 }
 
-// Dequeue implements Algorithm 2's Dequeue: choose two random queues,
-// compare their ReadMin priorities, DeleteMin on the apparently smaller.
-// As in the paper, the comparison uses possibly stale information; the
-// deletion itself is linearizable. If the chosen queue turns out empty the
-// operation retries, and after 2·m fruitless draws it scans all queues once
-// (flushing this handle's own insert buffer first, so a single-handle drain
-// never misses its buffered elements); ok is false only when every queue was
-// observed empty.
+// Dequeue implements Algorithm 2's Dequeue, generalized to the configured
+// choice count: sample d random queues, compare their ReadMin priorities,
+// DeleteMin on the apparently smallest. As in the paper, the comparison uses
+// possibly stale information; the deletion itself is linearizable. If the
+// chosen queue turns out empty the operation retries, and after 2·m
+// fruitless draws it scans all queues once (flushing this handle's own
+// insert buffer first, so a single-handle drain never misses its buffered
+// elements); ok is false only when every queue was observed empty.
 //
 // In batched mode the winner is drained with DeleteMinUpTo(Batch) and the
 // run beyond the first element is served from the handle's prefetch buffer
@@ -308,11 +317,7 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 		return it, true
 	}
 	for attempt := 0; attempt < 2*h.q.m; attempt++ {
-		i, j := h.deqPair()
-		if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
-			i = j
-		}
-		if it, ok = h.deleteFrom(i); ok {
+		if it, ok = h.deleteFrom(h.deqBest()); ok {
 			return it, true
 		}
 		h.deqReroll()
@@ -350,11 +355,12 @@ func (h *MQHandle) deleteFrom(i int) (heap.Item, bool) {
 	return h.outBuf[0], true
 }
 
-// DequeueD generalizes Dequeue to d random choices: it reads the heads of d
-// random queues and deletes from the best. d = 1 is the divergent
-// single-choice baseline (ablation A1 for queues); d > 2 tightens rank
-// quality at the cost of extra ReadMin traffic. The retry/sweep structure
-// matches Dequeue.
+// DequeueD overrides the configured choice count for one operation: it
+// reads the heads of d fresh (never sticky) random queues and deletes from
+// the best. d = 1 is the divergent single-choice baseline (ablation A1 for
+// queues); prefer MultiQueueConfig.Choices for a structure-wide setting —
+// DequeueD exists for per-call sweeps. The retry/sweep structure matches
+// Dequeue.
 func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 	if d < 1 {
 		panic("core: DequeueD needs d >= 1")
@@ -387,15 +393,15 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 }
 
 // TryDequeue is the lock-avoiding variant used by throughput benchmarks:
-// it compares two ReadMin values and only try-locks the winner, re-drawing
-// on contention instead of spinning. attempts bounds the number of draws;
-// ok is false if no element was obtained within the budget. Nothing on this
-// path ever blocks on a queue lock, so it routes around dead or stalled
-// lock holders in every mode. Like Dequeue, a batched handle serves its
-// prefetch buffer first, uses the sticky comparison pair, refills with a
-// try-locked DeleteMinUpTo, and before giving up attempts a non-blocking
-// flush of its own insert buffer (TryAddBatch to random queues) and retries
-// the budget once.
+// it compares the d sampled ReadMin values and only try-locks the winner,
+// re-drawing on contention instead of spinning. attempts bounds the number
+// of draws; ok is false if no element was obtained within the budget.
+// Nothing on this path ever blocks on a queue lock, so it routes around
+// dead or stalled lock holders in every mode. Like Dequeue, a batched
+// handle serves its prefetch buffer first, uses the sticky candidate set,
+// refills with a try-locked DeleteMinUpTo, and before giving up attempts a
+// non-blocking flush of its own insert buffer (TryAddBatch to random
+// queues) and retries the budget once.
 func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 	if h.outPos < len(h.outBuf) {
 		it = h.outBuf[h.outPos]
@@ -404,10 +410,7 @@ func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 	}
 	for pass := 0; pass < 2; pass++ {
 		for a := 0; a < attempts; a++ {
-			i, j := h.deqPair()
-			if h.q.qs[j].ReadMin() < h.q.qs[i].ReadMin() {
-				i = j
-			}
+			i := h.deqBest()
 			if h.q.batch <= 1 {
 				if it, okPop, acquired := h.q.qs[i].TryDeleteMin(); acquired && okPop {
 					h.deqCharge(1)

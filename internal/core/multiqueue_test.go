@@ -44,6 +44,49 @@ func TestMultiQueueFIFOishSequential(t *testing.T) {
 	}
 }
 
+// TestMultiQueueChoicesConfig drives the configured d-choice dequeue across
+// the d sweep: every setting must conserve elements through a full drain,
+// and accessors must report the normalized configuration.
+func TestMultiQueueChoicesConfig(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 4} {
+		q := NewMultiQueue(MultiQueueConfig{Queues: 8, Seed: 3, Choices: d, Stickiness: 4, Batch: 4})
+		wantD := d
+		if wantD == 0 {
+			wantD = 2
+		}
+		if q.Choices() != wantD {
+			t.Fatalf("Choices() = %d, want %d", q.Choices(), wantD)
+		}
+		h := q.NewHandle(1)
+		const n = 500
+		for v := uint64(0); v < n; v++ {
+			h.Enqueue(v)
+		}
+		seen := map[uint64]bool{}
+		for {
+			it, ok := h.Dequeue()
+			if !ok {
+				break
+			}
+			if seen[it.Value] {
+				t.Fatalf("d=%d: value %d twice", d, it.Value)
+			}
+			seen[it.Value] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("d=%d: drained %d, want %d", d, len(seen), n)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Choices=-1 did not panic")
+			}
+		}()
+		NewMultiQueue(MultiQueueConfig{Queues: 4, Choices: -1})
+	}()
+}
+
 func TestMultiQueueTimestampsUnique(t *testing.T) {
 	q := newMQ(4)
 	h := q.NewHandle(2)

@@ -209,6 +209,106 @@ func TestPropertyPriorityModeStickyBatched(t *testing.T) {
 	}
 }
 
+// counterGrid is the Choices × Stickiness × Batch sweep the MultiCounter
+// conservation properties cover: the paper's per-op two-choice default, the
+// single-choice ablation, each amortisation knob alone, both together, and a
+// non-divisor batch size so partial flushes are exercised.
+var counterGrid = []struct{ d, stick, batch int }{
+	{0, 0, 0}, // zero values normalize to 2/1/1: Algorithm 1 exactly
+	{1, 1, 1},
+	{2, 4, 1},
+	{2, 1, 4},
+	{2, 4, 4},
+	{4, 8, 8},
+	{2, 8, 7}, // 7 never divides the op counts below: Flush moves a partial batch
+}
+
+// TestPropertyMultiCounterConservation is the counter-side conservation
+// property the ISSUE demands: for every Choices × Stickiness × Batch
+// combination, the sum of flushed increments equals the observed counter
+// total — while running, Exact plus each handle's BufferedWeight accounts
+// for every issued update; after all handles flush, Exact alone does.
+func TestPropertyMultiCounterConservation(t *testing.T) {
+	for _, g := range counterGrid {
+		g := g
+		t.Run(fmt.Sprintf("d%d/s%d/k%d", g.d, g.stick, g.batch), func(t *testing.T) {
+			const workers, per, m = 4, 5000, 16
+			mc := NewMultiCounterConfig(MultiCounterConfig{
+				Counters: m, Choices: g.d, Stickiness: g.stick, Batch: g.batch,
+			})
+			var wg sync.WaitGroup
+			handles := make([]*Handle, workers)
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					h := mc.NewHandle(uint64(w) + 1)
+					handles[w] = h
+					for i := 0; i < per; i++ {
+						if i%3 == 0 {
+							h.Add(2) // weighted path shares the buffer
+						} else {
+							h.Increment()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Issued weight per worker: per increments, every third of weight 2.
+			perWeight := uint64(0)
+			for i := 0; i < per; i++ {
+				if i%3 == 0 {
+					perWeight += 2
+				} else {
+					perWeight++
+				}
+			}
+			want := uint64(workers) * perWeight
+			var buffered uint64
+			for _, h := range handles {
+				buffered += h.BufferedWeight()
+				if (h.Buffered() == 0) != (h.BufferedWeight() == 0) {
+					t.Fatalf("Buffered=%d but BufferedWeight=%d", h.Buffered(), h.BufferedWeight())
+				}
+				if h.Buffered() >= mc.Batch() {
+					t.Fatalf("Buffered=%d not below Batch=%d", h.Buffered(), mc.Batch())
+				}
+			}
+			if got := mc.Exact() + buffered; got != want {
+				t.Fatalf("Exact+buffered = %d, want %d issued", got, want)
+			}
+			for _, h := range handles {
+				h.Flush()
+				if h.Buffered() != 0 || h.BufferedWeight() != 0 {
+					t.Fatalf("buffer not empty after Flush")
+				}
+				h.Flush() // idempotent on an empty buffer
+			}
+			if got := mc.Exact(); got != want {
+				t.Fatalf("Exact = %d after all flushes, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestPropertyMultiCounterBatchAutoFlush checks the batch boundary: the k-th
+// buffered increment publishes the whole batch, so a lone handle's buffer
+// occupancy cycles through 1..k-1, 0 and Exact advances in k-sized steps.
+func TestPropertyMultiCounterBatchAutoFlush(t *testing.T) {
+	const m, k = 8, 4
+	mc := NewMultiCounterConfig(MultiCounterConfig{Counters: m, Batch: k})
+	h := mc.NewHandle(1)
+	for i := 1; i <= 3*k; i++ {
+		h.Increment()
+		if wantBuf := i % k; h.Buffered() != wantBuf {
+			t.Fatalf("after %d increments Buffered = %d, want %d", i, h.Buffered(), wantBuf)
+		}
+		if wantExact := uint64(i - i%k); mc.Exact() != wantExact {
+			t.Fatalf("after %d increments Exact = %d, want %d", i, mc.Exact(), wantExact)
+		}
+	}
+}
+
 // TestPropertyConcurrentStickyBatchedConservation runs the conservation
 // property under real concurrency: producers and consumers in sticky/batched
 // mode, then a quiescent flush + drain accounting for every element.

@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/rng"
+
+// Sampler is the sticky d-choice sampling policy shared by the MultiCounter
+// and MultiQueue handles — the one place the repository implements the
+// paper's choice process (Section 4's "d-sampling" step generalizing the
+// two-choice rule of Algorithms 1 and 2).
+//
+// A Sampler owns a candidate set of d uniformly random shard indices and a
+// stickiness window: the candidate set is re-used for up to window logical
+// operations before d fresh indices are drawn, amortising the PRNG draws the
+// way the sticky fast path requires (DESIGN.md §2). The paper's exact
+// processes are the degenerate settings — window = 1 re-rolls every
+// operation, d = 2 is the two-choice rule, and d = 1 is the divergent
+// single-choice baseline of ablation A1.
+//
+// A Sampler is handle-local state: it must only be used by the single
+// goroutine that owns the enclosing handle, with that handle's private
+// generator.
+type Sampler struct {
+	m      int
+	d      int
+	window int
+	left   int
+	cand   []int
+}
+
+// NewSampler returns a sampler drawing d-element candidate sets from
+// {0, …, m−1}, sticky across window logical operations. window < 1
+// normalizes to 1 (fresh candidates every operation — the paper's
+// unamortised process); d < 1 or m < 1 panic.
+func NewSampler(m, d, window int) Sampler {
+	if m < 1 {
+		panic("core: NewSampler needs m >= 1")
+	}
+	if d < 1 {
+		panic("core: NewSampler needs d >= 1")
+	}
+	if window < 1 {
+		window = 1
+	}
+	return Sampler{m: m, d: d, window: window, cand: make([]int, d)}
+}
+
+// Choices returns d, the candidate set size.
+func (s *Sampler) Choices() int { return s.d }
+
+// Window returns the stickiness window (>= 1).
+func (s *Sampler) Window() int { return s.window }
+
+// Candidates returns the current candidate index set, drawing d fresh
+// uniform indices from r when the remaining window cannot serve need more
+// logical operations. A candidate set therefore serves at most
+// max(window, need) operations: need is the whole batch in batched mode, so
+// a batch is never split across candidate sets. The returned slice aliases
+// the sampler's internal state — callers must not retain it across calls.
+func (s *Sampler) Candidates(r *rng.Xoshiro256, need int) []int {
+	if s.window <= 1 || s.left < need {
+		for i := range s.cand {
+			s.cand[i] = r.Intn(s.m)
+		}
+		s.left = s.window
+	}
+	return s.cand
+}
+
+// Best returns the candidate index minimizing load — the d-choice argmin
+// rule both structures share (smallest counter value for the MultiCounter,
+// smallest cached top for the MultiQueue). Like the paper's algorithms the
+// loads are read one shard at a time with no synchronization, so the winner
+// may be stale by the time the caller operates on it; that staleness is the
+// relaxation the analysis bounds. d = 1 skips the load reads entirely.
+// Best does not consume window budget; callers Charge what they actually
+// used, so an aborted operation costs nothing.
+func (s *Sampler) Best(r *rng.Xoshiro256, need int, load func(int) uint64) int {
+	cand := s.Candidates(r, need)
+	best := cand[0]
+	if s.d == 1 {
+		return best
+	}
+	bestV := load(best)
+	for _, i := range cand[1:] {
+		if v := load(i); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Charge consumes n logical operations from the stickiness window. Charging
+// per element (not per lock acquisition or flush) keeps the window — and so
+// the measured relaxation cost — comparable across batch sizes.
+func (s *Sampler) Charge(n int) { s.left -= n }
+
+// Expire discards the current candidate set so the next Candidates or Best
+// call draws fresh indices. Handles call it when a candidate turned out
+// empty or contended, abandoning a stale choice early.
+func (s *Sampler) Expire() { s.left = 0 }

@@ -140,6 +140,53 @@ func TestStressMultiQueueMixedOps(t *testing.T) {
 	wg.Wait()
 }
 
+// TestStressMultiCounterStickyBatched hammers the counter's amortised fast
+// path from concurrent handles across the Choices × Stickiness × Batch grid
+// and audits conservation at quiescence: published weight plus each handle's
+// remaining buffer must equal the number of completed increments exactly.
+func TestStressMultiCounterStickyBatched(t *testing.T) {
+	for _, g := range counterGrid {
+		g := g
+		t.Run(fmt.Sprintf("d%d/s%d/k%d", g.d, g.stick, g.batch), func(t *testing.T) {
+			workers := stressWorkers()
+			mc := NewMultiCounterConfig(MultiCounterConfig{
+				Counters: 8 * workers, Choices: g.d,
+				Stickiness: g.stick, Batch: g.batch,
+			})
+			var stop atomic.Bool
+			var done atomic.Uint64
+			handles := make([]*Handle, workers)
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					h := mc.NewHandle(uint64(w) + 1)
+					handles[w] = h
+					var n uint64
+					for !stop.Load() {
+						h.Increment()
+						n++
+						if n%64 == 0 {
+							h.Read()
+						}
+					}
+					done.Add(n)
+				}(w)
+			}
+			time.Sleep(stressDuration())
+			stop.Store(true)
+			wg.Wait()
+			for _, h := range handles {
+				h.Flush()
+			}
+			if got, want := mc.Exact(), done.Load(); got != want {
+				t.Fatalf("Exact = %d after flush, want %d completed increments", got, want)
+			}
+		})
+	}
+}
+
 // TestStressMultiCounter hammers the MultiCounter's increment/add/read paths
 // and checks the exact sum at quiescence: every completed increment must be
 // visible.
