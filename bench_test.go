@@ -23,6 +23,9 @@
 //	MultiCounter sticky/batched -> BenchmarkMultiCounterStickyBatched
 //	MultiQueue sticky/batched   -> BenchmarkMultiQueueStickyBatched
 //	cpq batch layer             -> BenchmarkCPQBatchOps
+//	heap bulk substrate         -> BenchmarkHeapBulkOps
+//	zero-alloc hot paths        -> BenchmarkMultiQueueHotPathAllocs,
+//	                               BenchmarkMultiCounterHotPathAllocs
 package repro
 
 import (
@@ -307,7 +310,7 @@ func BenchmarkAblationDelta(b *testing.B) {
 // --- Ablation A4: per-queue backing structure -------------------------------
 
 func BenchmarkAblationBacking(b *testing.B) {
-	for _, backing := range []cpq.Backing{cpq.BackingBinary, cpq.BackingPairing, cpq.BackingSkiplist} {
+	for _, backing := range cpq.Backings() {
 		b.Run(backing.String(), func(b *testing.B) {
 			q := core.NewMultiQueue(core.MultiQueueConfig{
 				Queues: 4 * runtime.GOMAXPROCS(0), Backing: backing, Seed: 11,
@@ -375,16 +378,18 @@ func BenchmarkMultiCounterStickyBatched(b *testing.B) {
 func BenchmarkMultiQueueStickyBatched(b *testing.B) {
 	for _, cfg := range []struct {
 		name         string
+		backing      cpq.Backing
 		stick, batch int
 	}{
-		{"baseline", 1, 1},
-		{"sticky8", 8, 1},
-		{"batch8", 1, 8},
-		{"sticky8-batch8", 8, 8},
+		{"baseline", cpq.BackingBinary, 1, 1},
+		{"sticky8", cpq.BackingBinary, 8, 1},
+		{"batch8", cpq.BackingBinary, 1, 8},
+		{"sticky8-batch8", cpq.BackingBinary, 8, 8},
+		{"dary-sticky8-batch8", cpq.BackingDAry, 8, 8},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			q := core.NewMultiQueue(core.MultiQueueConfig{
-				Queues: 8 * runtime.GOMAXPROCS(0), Seed: 17,
+				Queues: 8 * runtime.GOMAXPROCS(0), Seed: 17, Backing: cfg.backing,
 				Stickiness: cfg.stick, Batch: cfg.batch,
 			})
 			pre := q.NewHandle(18)
@@ -405,33 +410,135 @@ func BenchmarkMultiQueueStickyBatched(b *testing.B) {
 }
 
 // BenchmarkCPQBatchOps isolates the cpq layer: per-element Add/DeleteMin
-// against AddBatch/DeleteMinUpTo amortising one lock over 8 elements.
+// against AddBatch/DeleteMinUpTo amortising one lock over 8 elements, for
+// the per-element binary backing and the bulk-dispatching d-ary backing.
 func BenchmarkCPQBatchOps(b *testing.B) {
 	const k = 8
-	b.Run("per-op", func(b *testing.B) {
-		q := cpq.New(cpq.BackingBinary, 1024, 19)
-		for i := 0; i < b.N; i++ {
-			q.Add(uint64(i), uint64(i))
-			if i%k == k-1 {
-				for j := 0; j < k; j++ {
-					q.DeleteMin()
+	for _, backing := range []cpq.Backing{cpq.BackingBinary, cpq.BackingDAry} {
+		b.Run(backing.String()+"/per-op", func(b *testing.B) {
+			q := cpq.New(backing, 1024, 19)
+			for i := 0; i < b.N; i++ {
+				q.Add(uint64(i), uint64(i))
+				if i%k == k-1 {
+					for j := 0; j < k; j++ {
+						q.DeleteMin()
+					}
 				}
 			}
-		}
-	})
-	b.Run("batched", func(b *testing.B) {
-		q := cpq.New(cpq.BackingBinary, 1024, 19)
-		batch := make([]heap.Item, 0, k)
-		var out []heap.Item
-		for i := 0; i < b.N; i++ {
-			batch = append(batch, heap.Item{Priority: uint64(i), Value: uint64(i)})
-			if len(batch) == k {
-				q.AddBatch(batch)
-				batch = batch[:0]
-				out = q.DeleteMinUpTo(k, out[:0])
+		})
+		b.Run(backing.String()+"/batched", func(b *testing.B) {
+			q := cpq.New(backing, 1024, 19)
+			batch := make([]heap.Item, 0, k)
+			var out []heap.Item
+			for i := 0; i < b.N; i++ {
+				batch = append(batch, heap.Item{Priority: uint64(i), Value: uint64(i)})
+				if len(batch) == k {
+					q.AddBatch(batch)
+					batch = batch[:0]
+					out = q.DeleteMinUpTo(k, out[:0])
+				}
 			}
-		}
+		})
+	}
+}
+
+// BenchmarkHeapBulkOps isolates the heap substrate itself (no lock, no
+// cached-top publish): a k-sized PushBatch+PopBatch cycle over a standing
+// buffer, per-element loop vs the BulkInterface entry points, for both
+// array heaps. ReportAllocs pins the bulk paths at 0 allocs/op.
+func BenchmarkHeapBulkOps(b *testing.B) {
+	const k, standing = 8, 4096
+	mk := map[string]func() heap.BulkInterface{
+		"binary": func() heap.BulkInterface { return heap.NewBinary(2 * standing) },
+		"dary":   func() heap.BulkInterface { return heap.NewDAry(2 * standing) },
+	}
+	for name, mkHeap := range mk {
+		b.Run(name+"/per-element", func(b *testing.B) {
+			h := mkHeap()
+			r := rng.NewXoshiro256(23)
+			for i := 0; i < standing; i++ {
+				h.Push(heap.Item{Priority: r.Next()})
+			}
+			out := make([]heap.Item, 0, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < k; j++ {
+					h.Push(heap.Item{Priority: r.Next()})
+				}
+				out = out[:0]
+				for j := 0; j < k; j++ {
+					it, _ := h.Pop()
+					out = append(out, it)
+				}
+			}
+		})
+		b.Run(name+"/bulk", func(b *testing.B) {
+			h := mkHeap()
+			r := rng.NewXoshiro256(23)
+			for i := 0; i < standing; i++ {
+				h.Push(heap.Item{Priority: r.Next()})
+			}
+			in := make([]heap.Item, k)
+			out := make([]heap.Item, 0, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range in {
+					in[j] = heap.Item{Priority: r.Next()}
+				}
+				h.PushBatch(in)
+				out = h.PopBatch(k, out[:0])
+			}
+		})
+	}
+}
+
+// --- Zero-allocation hot-path guards (DESIGN.md §5) -----------------------
+
+// BenchmarkMultiQueueHotPathAllocs measures the steady-state batched
+// enqueue+dequeue pair with allocation reporting: the handle's pooled batch
+// and prefetch buffers plus the preallocated heap arrays must hold it at
+// 0 allocs/op (TestMQHandleHotPathZeroAlloc enforces the same bound in the
+// test suite; cmd/benchall gates every sweep point on it).
+func BenchmarkMultiQueueHotPathAllocs(b *testing.B) {
+	for _, backing := range []cpq.Backing{cpq.BackingBinary, cpq.BackingDAry} {
+		b.Run(backing.String(), func(b *testing.B) {
+			q := core.NewMultiQueue(core.MultiQueueConfig{
+				Queues: 64, Backing: backing, Seed: 27, Stickiness: 8, Batch: 8,
+			})
+			h := q.NewHandle(28)
+			for i := 0; i < 8192; i++ {
+				h.Enqueue(uint64(i))
+				if i%2 == 0 {
+					h.Dequeue()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Enqueue(1)
+				h.Dequeue()
+			}
+		})
+	}
+}
+
+// BenchmarkMultiCounterHotPathAllocs is the counter counterpart: a
+// steady-state batched increment must stay at 0 allocs/op.
+func BenchmarkMultiCounterHotPathAllocs(b *testing.B) {
+	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+		Counters: 64, Choices: 2, Stickiness: 8, Batch: 8,
 	})
+	h := mc.NewHandle(29)
+	for i := 0; i < 8192; i++ {
+		h.Increment()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Increment()
+	}
 }
 
 // --- MultiQueue vs coarse-locked exact PQ (Section 7 throughput shape) -----

@@ -1,22 +1,30 @@
 // Command benchall runs the machine-readable benchmark pipeline: the
-// MultiQueue throughput sweep (goroutines × m × stickiness × batch) and the
-// MultiCounter throughput sweep (goroutines × m × choices × stickiness ×
-// batch vs the exact fetch-and-add and per-op two-choice baselines), and
-// emits BENCH_multiqueue.json and BENCH_multicounter.json (schema in
-// internal/benchfmt) so the performance trajectory is tracked across PRs
-// instead of living in scrollback.
+// MultiQueue throughput sweep (goroutines × m × backing × stickiness ×
+// batch) and the MultiCounter throughput sweep (goroutines × m × choices ×
+// stickiness × batch vs the exact fetch-and-add and per-op two-choice
+// baselines), and emits BENCH_multiqueue.json and BENCH_multicounter.json
+// (schema in internal/benchfmt) so the performance trajectory is tracked
+// across PRs instead of living in scrollback.
 //
 // Both reports compute, for every amortised point, the speedup against the
 // per-op baseline at the same grid coordinates, attach the single-threaded
 // quality audit of the setting (dequeue rank error vs Theorem 7.1's
-// envelope; read max-deviation vs Theorem 6.1's), and summarize the best
-// within-envelope speedup at >= 8 goroutines — the >= 1.5x regression gate
-// EXPERIMENTS.md records. The process exits non-zero if either structure
-// misses its gate.
+// envelope; read max-deviation vs Theorem 6.1's) plus a steady-state
+// allocs/op audit, and summarize the best within-envelope speedup at >= 8
+// goroutines — the >= 1.5x regression gate EXPERIMENTS.md records. The
+// MultiQueue sweep additionally covers the d-ary bulk backing (ablation A4)
+// and gates it against the PR 2 committed within-envelope speedup at the
+// same settings, and the batched hot paths gate at 0 allocs/op. The process
+// exits non-zero if any gate fails.
 //
 // Usage:
 //
-//	benchall [-dur 500ms] [-maxthreads 8] [-mfactor 4] [-out .] [-seed 5]
+//	benchall [-dur 500ms] [-maxthreads 8] [-mfactor 4] [-out .] [-seed 5] [-quick]
+//
+// -quick runs a tiny ungated sweep (two thread counts, one m per thread
+// count, a three-setting grid, single rep, truncated audits) so CI can smoke
+// the whole JSON pipeline in seconds; quick reports are for pipeline
+// validation only and must not be committed as BENCH_*.json.
 package main
 
 import (
@@ -25,27 +33,49 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"repro/internal/benchfmt"
 	"repro/internal/core"
+	"repro/internal/cpq"
 	"repro/internal/dlin"
 	"repro/internal/harness"
 	"repro/internal/quality"
 	"repro/internal/stats"
 )
 
-// stickyBatchSweep is the (stickiness, batch) grid the MultiQueue sweep
-// covers: the per-op baseline, each knob alone, the quality-safe combined
-// setting (inside the m·log m envelope at m >= 64; see cmd/quality -queue),
-// and the deeper batch point for the throughput ceiling.
-var stickyBatchSweep = []struct{ stick, batch int }{
-	{1, 1},
-	{4, 1},
-	{1, 4},
-	{4, 4},
-	{8, 8},
-	{16, 16},
+// pr2CommittedMQSpeedup is the within-envelope speedup the PR 2
+// BENCH_multiqueue.json committed (binary backing, s=8, k=8, m=128 at 8
+// goroutines). The d-ary bulk backing gates against it: its own
+// within-envelope best over the same per-op baseline must be at least this,
+// or the cache-shaped substrate regressed the batched fast path.
+const pr2CommittedMQSpeedup = 1.635
+
+// mqSetting is one MultiQueue sweep configuration: the per-queue backing and
+// the (stickiness, batch) amortisation knobs.
+type mqSetting struct {
+	backing      cpq.Backing
+	stick, batch int
+}
+
+// mqSweep is the grid the MultiQueue sweep covers: the binary per-op
+// baseline, each knob alone, the quality-safe combined setting (inside the
+// m·log m envelope at m >= 64; see cmd/quality -queue), the deeper batch
+// point for the throughput ceiling — and the d-ary bulk backing at the
+// per-op, combined and deep points (ablation A4), sharing the binary per-op
+// baseline denominator.
+var mqSweep = []mqSetting{
+	{cpq.BackingBinary, 1, 1},
+	{cpq.BackingBinary, 4, 1},
+	{cpq.BackingBinary, 1, 4},
+	{cpq.BackingBinary, 4, 4},
+	{cpq.BackingBinary, 8, 8},
+	{cpq.BackingBinary, 16, 16},
+	{cpq.BackingDAry, 1, 1},
+	{cpq.BackingDAry, 4, 4},
+	{cpq.BackingDAry, 8, 8},
+	{cpq.BackingDAry, 16, 16},
 }
 
 // counterSweep is the (choices, stickiness, batch) grid the MultiCounter
@@ -62,28 +92,111 @@ var counterSweep = []struct{ d, stick, batch int }{
 	{2, 16, 16},
 }
 
+// sweepParams collects the knobs -quick shrinks: repetition counts and the
+// audit workloads. The full-run values match the committed BENCH_*.json
+// protocol of PR 1/2.
+type sweepParams struct {
+	mqReps, mcReps       int
+	rankOps              int
+	counterIncs          int
+	counterSamples       int
+	allocRuns, allocWarm int
+	gate                 bool
+	mqSettings           []mqSetting
+	counterSettings      []struct{ d, stick, batch int }
+	mFactorsPerThread    []int
+	threadCountsOf       func(maxThreads int) []int
+}
+
+func fullParams(mfactor, maxThreads int) sweepParams {
+	return sweepParams{
+		// 7 reps for the queue: the dary-vs-committed gate compares a ratio of
+		// two best-of estimates, and on a shared 1-CPU host five 500 ms
+		// windows still leave ±5% flap — enough to trip a ~4% margin.
+		mqReps: 7, mcReps: 3,
+		rankOps: 50_000, counterIncs: 200_000, counterSamples: 50,
+		allocRuns: 500, allocWarm: 4096,
+		gate:              true,
+		mqSettings:        mqSweep,
+		counterSettings:   counterSweep,
+		mFactorsPerThread: []int{mfactor, 2 * mfactor, 4 * mfactor},
+		threadCountsOf:    harness.ThreadCounts,
+	}
+}
+
+func quickParams(mfactor, maxThreads int) sweepParams {
+	threadCounts := []int{1, 2}
+	if maxThreads < 2 {
+		threadCounts = []int{1}
+	}
+	return sweepParams{
+		mqReps: 1, mcReps: 1,
+		rankOps: 5_000, counterIncs: 20_000, counterSamples: 10,
+		allocRuns: 50, allocWarm: 512,
+		gate: false,
+		mqSettings: []mqSetting{
+			{cpq.BackingBinary, 1, 1},
+			{cpq.BackingBinary, 8, 8},
+			{cpq.BackingDAry, 8, 8},
+		},
+		counterSettings: []struct{ d, stick, batch int }{
+			{2, 1, 1},
+			{2, 8, 8},
+		},
+		mFactorsPerThread: []int{mfactor},
+		threadCountsOf:    func(int) []int { return threadCounts },
+	}
+}
+
 func main() {
 	dur := flag.Duration("dur", 500*time.Millisecond, "measurement window per point")
 	maxThreads := flag.Int("maxthreads", 8, "largest goroutine count in the sweep")
 	mfactor := flag.Int("mfactor", 4, "queues (or counters) per goroutine")
 	out := flag.String("out", ".", "directory for the JSON reports")
 	seed := flag.Uint64("seed", 5, "PRNG seed")
+	quick := flag.Bool("quick", false, "tiny ungated smoke sweep for CI (validates the pipeline, not the numbers)")
 	flag.Parse()
+
+	params := fullParams(*mfactor, *maxThreads)
+	if *quick {
+		if *maxThreads > 2 {
+			*maxThreads = 2 // keep the summary gate inside the tiny sweep
+		}
+		params = quickParams(*mfactor, *maxThreads)
+		if *dur == 500*time.Millisecond {
+			*dur = 50 * time.Millisecond
+		}
+		fmt.Println("benchall: -quick smoke mode (single rep, truncated audits, gates off)")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
 
 	env := benchfmt.CaptureEnv()
 
-	mq := runMultiQueueSweep(*dur, *maxThreads, *mfactor, *seed, env)
+	mq := runMultiQueueSweep(*dur, *maxThreads, *seed, env, params)
 	writeReport(filepath.Join(*out, "BENCH_multiqueue.json"), mq)
-	fmt.Printf("multiqueue: best speedup at >=%d goroutines %.2fx (s=%d k=%d m=%d)\n",
-		mq.Summary.GateThreads, mq.Summary.BestSpeedup, mq.Summary.Best.Stickiness,
-		mq.Summary.Best.Batch, mq.Summary.Best.M)
-	fmt.Printf("multiqueue: best within-envelope speedup %.2fx (s=%d k=%d m=%d, rank mean %.0f <= %.0f), target >=1.5x met: %v\n",
-		mq.Summary.BestWithinEnvelopeSpeedup, mq.Summary.BestWithinEnvelope.Stickiness,
+	fmt.Printf("multiqueue: best speedup at >=%d goroutines %.2fx (%s s=%d k=%d m=%d)\n",
+		mq.Summary.GateThreads, mq.Summary.BestSpeedup, mq.Summary.Best.Backing,
+		mq.Summary.Best.Stickiness, mq.Summary.Best.Batch, mq.Summary.Best.M)
+	fmt.Printf("multiqueue: best within-envelope speedup %.2fx (%s s=%d k=%d m=%d, rank mean %.0f <= %.0f), target >=1.5x met: %v\n",
+		mq.Summary.BestWithinEnvelopeSpeedup, mq.Summary.BestWithinEnvelope.Backing,
+		mq.Summary.BestWithinEnvelope.Stickiness,
 		mq.Summary.BestWithinEnvelope.Batch, mq.Summary.BestWithinEnvelope.M,
 		mq.Summary.BestWithinEnvelope.Quality.RankErrorMean,
 		mq.Summary.BestWithinEnvelope.Quality.Envelope, mq.Summary.MeetsTarget)
+	for _, backing := range cpq.Backings() {
+		if sp, ok := mq.Summary.BestWithinEnvelopeSpeedupByBacking[backing.String()]; ok {
+			fmt.Printf("multiqueue: backing %-8s best within-envelope %.2fx\n", backing, sp)
+		}
+	}
+	if params.gate {
+		fmt.Printf("multiqueue: dary gate vs PR 2 committed %.3fx met: %v\n",
+			mq.Summary.PR2Committed, mq.Summary.DAryMeetsCommitted)
+	}
 
-	mc := runMultiCounterSweep(*dur, *maxThreads, *mfactor, *seed, env)
+	mc := runMultiCounterSweep(*dur, *maxThreads, *seed, env, params)
 	writeReport(filepath.Join(*out, "BENCH_multicounter.json"), mc)
 	best := mc.Summary.BestWithinEnvelope
 	fmt.Printf("multicounter: best speedup at >=%d goroutines %.2fx (d=%d s=%d k=%d m=%d)\n",
@@ -96,9 +209,22 @@ func main() {
 			best.Quality.Envelope, best.Quality.MaxAbsDeviation, mc.Summary.MeetsTarget)
 	}
 
+	if !params.gate {
+		return
+	}
 	failed := false
 	if !mq.Summary.MeetsTarget {
 		fmt.Fprintln(os.Stderr, "benchall: sticky/batched MultiQueue did not reach 1.5x over the per-op baseline")
+		failed = true
+	}
+	if !mq.Summary.DAryMeetsCommitted {
+		fmt.Fprintf(os.Stderr, "benchall: d-ary batched MultiQueue did not reach the PR 2 committed %.3fx within-envelope speedup\n", pr2CommittedMQSpeedup)
+		failed = true
+	}
+	if bad := allocGateViolations(mq, mc); len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintf(os.Stderr, "benchall: alloc gate: %s\n", msg)
+		}
 		failed = true
 	}
 	if !mc.Summary.MeetsTarget {
@@ -110,24 +236,55 @@ func main() {
 	}
 }
 
+// allocGateViolations scans both reports for settings whose steady-state hot
+// path allocated: every swept MultiQueue backing is an array or pooled heap
+// and every MultiCounter setting buffers locally, so any nonzero allocs/op
+// is a regression in the zero-allocation batch plumbing.
+func allocGateViolations(mq *benchfmt.MQReport, mc *benchfmt.MCReport) []string {
+	var bad []string
+	seen := map[string]bool{}
+	for _, pt := range mq.Points {
+		key := fmt.Sprintf("multiqueue %s s=%d k=%d m=%d: %.2f allocs/op", pt.Backing, pt.Stickiness, pt.Batch, pt.M, pt.AllocsPerOp)
+		if pt.AllocsPerOp != 0 && !seen[key] {
+			seen[key] = true
+			bad = append(bad, key)
+		}
+	}
+	for _, pt := range mc.Points {
+		if pt.Variant != "multicounter" {
+			continue
+		}
+		key := fmt.Sprintf("multicounter d=%d s=%d k=%d m=%d: %.2f allocs/op", pt.Choices, pt.Stickiness, pt.Batch, pt.M, pt.AllocsPerOp)
+		if pt.AllocsPerOp != 0 && !seen[key] {
+			seen[key] = true
+			bad = append(bad, key)
+		}
+	}
+	return bad
+}
+
 // runMultiQueueSweep measures enqueue+dequeue pair throughput across
-// goroutines × m × (stickiness, batch), attaching the single-threaded rank
-// quality of each (m, stickiness, batch) setting to its points.
-func runMultiQueueSweep(dur time.Duration, maxThreads, mfactor int, seed uint64, env benchfmt.Env) *benchfmt.MQReport {
+// goroutines × m × backing × (stickiness, batch), attaching the
+// single-threaded rank quality and allocs/op of each setting to its points.
+func runMultiQueueSweep(dur time.Duration, maxThreads int, seed uint64, env benchfmt.Env, params sweepParams) *benchfmt.MQReport {
 	rep := &benchfmt.MQReport{
 		Bench: "multiqueue-sticky-batched", Schema: benchfmt.SchemaVersion,
 		Env: env, DurMS: dur.Milliseconds(),
 	}
 	rep.Summary.GateThreads = gateThreads(maxThreads)
-	baseline := map[[2]int]float64{}            // (threads, m) -> baseline mops
-	audits := map[[3]int]benchfmt.RankQuality{} // (m, stick, batch) -> rank audit
-	for _, threads := range harness.ThreadCounts(maxThreads) {
-		for _, mf := range []int{mfactor, 2 * mfactor, 4 * mfactor} {
+	rep.Summary.BestWithinEnvelopeSpeedupByBacking = map[string]float64{}
+	rep.Summary.PR2Committed = pr2CommittedMQSpeedup
+	baseline := map[[2]int]float64{}   // (threads, m) -> baseline mops
+	audits := map[mqAuditKey]mqAudit{} // (m, backing, stick, batch) -> audits
+	for _, threads := range params.threadCountsOf(maxThreads) {
+		for _, mf := range params.mFactorsPerThread {
 			m := mf * threads
-			runMultiQueuePoints(rep, baseline, audits, threads, m, dur, seed)
+			runMultiQueuePoints(rep, baseline, audits, threads, m, dur, seed, params)
 		}
 	}
 	rep.Summary.MeetsTarget = rep.Summary.BestWithinEnvelopeSpeedup >= 1.5
+	rep.Summary.DAryMeetsCommitted =
+		rep.Summary.BestWithinEnvelopeSpeedupByBacking[cpq.BackingDAry.String()] >= pr2CommittedMQSpeedup
 	return rep
 }
 
@@ -141,24 +298,33 @@ func gateThreads(maxThreads int) int {
 	return 8
 }
 
-// runMultiQueuePoints measures every (stickiness, batch) setting at one
-// (threads, m) grid point. Each point is the best of reps windows: noise on
-// a shared machine is one-sided (background load only slows a window down),
-// so the max over repetitions is the stable estimator of capability and
-// keeps the baseline-relative speedups from flapping run to run.
-func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, audits map[[3]int]benchfmt.RankQuality, threads, m int, dur time.Duration, seed uint64) {
-	const reps = 5
-	for _, g := range stickyBatchSweep {
+type mqAuditKey struct {
+	m, stick, batch int
+	backing         cpq.Backing
+}
+
+type mqAudit struct {
+	quality benchfmt.RankQuality
+	allocs  float64
+}
+
+// runMultiQueuePoints measures every sweep setting at one (threads, m) grid
+// point. Each point is the best of reps windows: noise on a shared machine
+// is one-sided (background load only slows a window down), so the max over
+// repetitions is the stable estimator of capability and keeps the
+// baseline-relative speedups from flapping run to run.
+func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, audits map[mqAuditKey]mqAudit, threads, m int, dur time.Duration, seed uint64, params sweepParams) {
+	for _, g := range params.mqSettings {
 		var bestOps int64
 		var bestElapsed time.Duration
 		var bestMops float64
-		for attempt := 0; attempt < reps; attempt++ {
+		for attempt := 0; attempt < params.mqReps; attempt++ {
 			// A fresh queue and prefill per rep: discarded worker handles
 			// drop their buffered/prefetched elements, so re-using one queue
 			// would drift the standing buffer across reps and skew the
 			// max-over-reps comparison.
 			q := core.NewMultiQueue(core.MultiQueueConfig{
-				Queues: m, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+				Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
 			})
 			pre := q.NewHandle(seed + 1)
 			for i := 0; i < 10_000; i++ {
@@ -179,22 +345,27 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 				bestOps, bestElapsed, bestMops = ops, elapsed, mops
 			}
 		}
-		qkey := [3]int{m, g.stick, g.batch}
+		qkey := mqAuditKey{m: m, stick: g.stick, batch: g.batch, backing: g.backing}
 		if _, done := audits[qkey]; !done {
-			audits[qkey] = measureRankQuality(m, g.stick, g.batch, seed)
+			audits[qkey] = mqAudit{
+				quality: measureRankQuality(m, g, seed, params),
+				allocs:  measureMQAllocs(m, g, seed, params),
+			}
 		}
 		pt := benchfmt.MQPoint{
-			Threads:    threads,
-			M:          m,
-			Stickiness: g.stick,
-			Batch:      g.batch,
-			Ops:        bestOps,
-			Seconds:    bestElapsed.Seconds(),
-			Mops:       bestMops,
-			Quality:    audits[qkey],
+			Threads:     threads,
+			M:           m,
+			Backing:     g.backing.String(),
+			Stickiness:  g.stick,
+			Batch:       g.batch,
+			Ops:         bestOps,
+			Seconds:     bestElapsed.Seconds(),
+			Mops:        bestMops,
+			Quality:     audits[qkey].quality,
+			AllocsPerOp: audits[qkey].allocs,
 		}
 		key := [2]int{threads, m}
-		if g.stick == 1 && g.batch == 1 {
+		if g.backing == cpq.BackingBinary && g.stick == 1 && g.batch == 1 {
 			baseline[key] = pt.Mops
 		}
 		if base := baseline[key]; base > 0 {
@@ -205,9 +376,14 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 			rep.Summary.BestSpeedup = pt.Speedup
 			rep.Summary.Best = pt
 		}
-		if threads >= rep.Summary.GateThreads && pt.Quality.WithinEnvelope && pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
-			rep.Summary.BestWithinEnvelopeSpeedup = pt.Speedup
-			rep.Summary.BestWithinEnvelope = pt
+		if threads >= rep.Summary.GateThreads && pt.Quality.WithinEnvelope {
+			if pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
+				rep.Summary.BestWithinEnvelopeSpeedup = pt.Speedup
+				rep.Summary.BestWithinEnvelope = pt
+			}
+			if pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedupByBacking[pt.Backing] {
+				rep.Summary.BestWithinEnvelopeSpeedupByBacking[pt.Backing] = pt.Speedup
+			}
 		}
 	}
 }
@@ -215,31 +391,52 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 // measureRankQuality runs the single-threaded steady-state rank-error
 // measurement of cmd/quality -queue (quality.MeasureDequeueRank) over a
 // standing buffer of 64·m elements and scores it against the envelope.
-func measureRankQuality(m, stickiness, batch int, seed uint64) benchfmt.RankQuality {
-	const ops = 50_000
+func measureRankQuality(m int, g mqSetting, seed uint64, params sweepParams) benchfmt.RankQuality {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
-		Queues: m, Seed: seed, Stickiness: stickiness, Batch: batch,
+		Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
 	})
-	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
+	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, params.rankOps)
 	mean := sample.Mean()
 	env := dlin.Envelope(m)
 	return benchfmt.RankQuality{RankErrorMean: mean, Envelope: env, WithinEnvelope: mean <= env}
 }
 
+// measureMQAllocs measures the steady-state allocations of one single-
+// threaded enqueue+dequeue pair at a sweep setting: warm the handle past its
+// buffer and block-stamp growth, then average allocations over allocRuns
+// pairs. The batched hot path's contract is 0.
+func measureMQAllocs(m int, g mqSetting, seed uint64, params sweepParams) float64 {
+	q := core.NewMultiQueue(core.MultiQueueConfig{
+		Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+	})
+	h := q.NewHandle(seed + 2)
+	for i := 0; i < params.allocWarm; i++ {
+		h.Enqueue(uint64(i))
+		if i%2 == 0 {
+			h.Dequeue()
+		}
+	}
+	return testing.AllocsPerRun(params.allocRuns, func() {
+		h.Enqueue(1)
+		h.Dequeue()
+	})
+}
+
 // runMultiCounterSweep measures increment throughput for the exact
 // fetch-and-add reference and the MultiCounter across goroutines × m ×
 // (choices, stickiness, batch), attaching the single-threaded max-deviation
-// audit of each (m, d, s, k) setting to its points and summarizing the best
-// within-envelope speedup over the per-op two-choice baseline.
-func runMultiCounterSweep(dur time.Duration, maxThreads, mfactor int, seed uint64, env benchfmt.Env) *benchfmt.MCReport {
+// and allocs/op audits of each (m, d, s, k) setting to its points and
+// summarizing the best within-envelope speedup over the per-op two-choice
+// baseline.
+func runMultiCounterSweep(dur time.Duration, maxThreads int, seed uint64, env benchfmt.Env, params sweepParams) *benchfmt.MCReport {
 	rep := &benchfmt.MCReport{
 		Bench: "multicounter-sticky-batched", Schema: benchfmt.SchemaVersion,
 		Env: env, DurMS: dur.Milliseconds(),
 		Summary: &benchfmt.MCSummary{GateThreads: gateThreads(maxThreads)},
 	}
-	baseline := map[[2]int]float64{}               // (threads, m) -> per-op mops
-	audits := map[[4]int]benchfmt.CounterQuality{} // (m, d, s, k) -> deviation audit
-	for _, threads := range harness.ThreadCounts(maxThreads) {
+	baseline := map[[2]int]float64{} // (threads, m) -> per-op mops
+	audits := map[[4]int]mcAudit{}   // (m, d, s, k) -> audits
+	for _, threads := range params.threadCountsOf(maxThreads) {
 		// Exact fetch-and-add reference (the scalability-collapse baseline of
 		// Figure 1a; not part of the speedup gate).
 		var exact atomic.Uint64
@@ -256,24 +453,28 @@ func runMultiCounterSweep(dur time.Duration, maxThreads, mfactor int, seed uint6
 			Ops: ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
 		})
 
-		for _, mf := range []int{mfactor, 2 * mfactor, 4 * mfactor} {
+		for _, mf := range params.mFactorsPerThread {
 			m := mf * threads
-			runMultiCounterPoints(rep, baseline, audits, threads, m, dur, seed)
+			runMultiCounterPoints(rep, baseline, audits, threads, m, dur, seed, params)
 		}
 	}
 	rep.Summary.MeetsTarget = rep.Summary.BestWithinEnvelopeSpeedup >= 1.5
 	return rep
 }
 
+type mcAudit struct {
+	quality benchfmt.CounterQuality
+	allocs  float64
+}
+
 // runMultiCounterPoints measures every (choices, stickiness, batch) setting
 // at one (threads, m) grid point, best-of-reps like the queue sweep.
-func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, audits map[[4]int]benchfmt.CounterQuality, threads, m int, dur time.Duration, seed uint64) {
-	const reps = 3
-	for _, g := range counterSweep {
+func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, audits map[[4]int]mcAudit, threads, m int, dur time.Duration, seed uint64, params sweepParams) {
+	for _, g := range params.counterSettings {
 		var bestOps int64
 		var bestElapsed time.Duration
 		var bestMops float64
-		for attempt := 0; attempt < reps; attempt++ {
+		for attempt := 0; attempt < params.mcReps; attempt++ {
 			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
 				Counters: m, Choices: g.d, Stickiness: g.stick, Batch: g.batch,
 			})
@@ -292,20 +493,24 @@ func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, 
 		}
 		akey := [4]int{m, g.d, g.stick, g.batch}
 		if _, done := audits[akey]; !done {
-			audits[akey] = measureCounterQuality(m, g.d, g.stick, g.batch, seed)
+			audits[akey] = mcAudit{
+				quality: measureCounterQuality(m, g.d, g.stick, g.batch, seed, params),
+				allocs:  measureMCAllocs(m, g.d, g.stick, g.batch, seed, params),
+			}
 		}
 		audit := audits[akey]
 		pt := benchfmt.MCPoint{
-			Threads:    threads,
-			Variant:    "multicounter",
-			M:          m,
-			Choices:    g.d,
-			Stickiness: g.stick,
-			Batch:      g.batch,
-			Ops:        bestOps,
-			Seconds:    bestElapsed.Seconds(),
-			Mops:       bestMops,
-			Quality:    &audit,
+			Threads:     threads,
+			Variant:     "multicounter",
+			M:           m,
+			Choices:     g.d,
+			Stickiness:  g.stick,
+			Batch:       g.batch,
+			Ops:         bestOps,
+			Seconds:     bestElapsed.Seconds(),
+			Mops:        bestMops,
+			Quality:     &audit.quality,
+			AllocsPerOp: audit.allocs,
 		}
 		key := [2]int{threads, m}
 		if g.d == 2 && g.stick == 1 && g.batch == 1 {
@@ -319,7 +524,7 @@ func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, 
 			rep.Summary.BestSpeedup = pt.Speedup
 			rep.Summary.Best = pt
 		}
-		if threads >= rep.Summary.GateThreads && audit.WithinEnvelope && pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
+		if threads >= rep.Summary.GateThreads && audit.quality.WithinEnvelope && pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
 			rep.Summary.BestWithinEnvelopeSpeedup = pt.Speedup
 			rep.Summary.BestWithinEnvelope = pt
 		}
@@ -329,12 +534,11 @@ func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, 
 // measureCounterQuality runs the single-threaded deviation measurement of
 // cmd/quality (quality.MeasureCounterDeviation) and scores the mean against
 // the m·log m envelope, reporting the max deviation alongside.
-func measureCounterQuality(m, d, stickiness, batch int, seed uint64) benchfmt.CounterQuality {
-	const incs, samples = 200_000, 50
+func measureCounterQuality(m, d, stickiness, batch int, seed uint64, params sweepParams) benchfmt.CounterQuality {
 	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
 		Counters: m, Choices: d, Stickiness: stickiness, Batch: batch,
 	})
-	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed+1), incs, samples, nil)
+	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed+1), params.counterIncs, params.counterSamples, nil)
 	env := dlin.Envelope(m)
 	return benchfmt.CounterQuality{
 		MaxAbsDeviation:  dev.MaxAbsError,
@@ -343,6 +547,19 @@ func measureCounterQuality(m, d, stickiness, batch int, seed uint64) benchfmt.Co
 		Envelope:         env,
 		WithinEnvelope:   dev.MeanAbsError <= env,
 	}
+}
+
+// measureMCAllocs measures the steady-state allocations of one single-
+// threaded increment at a sweep setting; the contract is 0 in every mode.
+func measureMCAllocs(m, d, stickiness, batch int, seed uint64, params sweepParams) float64 {
+	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
+		Counters: m, Choices: d, Stickiness: stickiness, Batch: batch,
+	})
+	h := mc.NewHandle(seed + 2)
+	for i := 0; i < params.allocWarm; i++ {
+		h.Increment()
+	}
+	return testing.AllocsPerRun(params.allocRuns, func() { h.Increment() })
 }
 
 func writeReport(path string, v any) {

@@ -22,7 +22,7 @@
 // Usage:
 //
 //	quality [-m 64] [-incs 1000000] [-samples 50] [-choices 2] [-stickiness 1] [-batch 1] [-csv]
-//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-csv]
+//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-backing binary] [-csv]
 package main
 
 import (
@@ -31,6 +31,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/cpq"
 	"repro/internal/dlin"
 	"repro/internal/harness"
 	"repro/internal/quality"
@@ -45,6 +46,7 @@ func main() {
 	choices := flag.Int("choices", 2, "random choices d per increment (or dequeue with -queue)")
 	stickiness := flag.Int("stickiness", 1, "operation stickiness window")
 	batch := flag.Int("batch", 1, "batching factor")
+	backingName := flag.String("backing", "binary", "per-queue backing for -queue: binary, pairing, skiplist or dary")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
 	seed := flag.Uint64("seed", 7, "PRNG seed")
 	flag.Parse()
@@ -66,7 +68,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "quality: -ops must be >= 1")
 			os.Exit(2)
 		}
-		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, *seed, *csv) {
+		backing, err := cpq.ParseBacking(*backingName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quality: %v\n", err)
+			os.Exit(2)
+		}
+		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, backing, *seed, *csv) {
 			os.Exit(1)
 		}
 		return
@@ -123,9 +130,10 @@ func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch in
 // logically enqueued labels, exactly like the dlin queue-spec replay. It
 // reports the distribution against Theorem 7.1's scales and returns whether
 // the measured mean lies inside the O(m·log m) envelope.
-func runQueueQuality(m, ops, choices, stickiness, batch int, seed uint64, csv bool) bool {
+func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing, seed uint64, csv bool) bool {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
 		Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
+		Backing: backing,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
 	envelope := dlin.Envelope(m)
@@ -138,8 +146,8 @@ func runQueueQuality(m, ops, choices, stickiness, batch int, seed uint64, csv bo
 	// Report the normalized knobs (0 becomes 1), not the raw flags, so the
 	// header names the configuration actually measured.
 	tb := harness.NewTable(
-		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, single thread)",
-			m, q.Choices(), q.Stickiness(), q.Batch()),
+		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, backing=%s, single thread)",
+			m, q.Choices(), q.Stickiness(), q.Batch(), q.Backing()),
 		"metric", "value", "theory-scale")
 	tb.Add("mean", mean, fmt.Sprintf("O(m)=%d", m))
 	tb.Add("p50", sample.Quantile(0.5), "")

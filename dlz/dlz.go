@@ -90,6 +90,10 @@ const (
 	BackingPairing = cpq.BackingPairing
 	// BackingSkiplist stores each internal queue in a skiplist.
 	BackingSkiplist = cpq.BackingSkiplist
+	// BackingDAry stores each internal queue in a cache-line-aligned 4-ary
+	// heap with bulk batch operations — the fastest backing for the batched
+	// fast path (DESIGN.md §5).
+	BackingDAry = cpq.BackingDAry
 )
 
 // NewMultiCounter returns a MultiCounter over m atomic counters with the

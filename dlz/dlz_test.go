@@ -118,6 +118,8 @@ func TestMultiQueuePublicAPI(t *testing.T) {
 		{Queues: 8, Backing: dlz.BackingBinary},
 		{Queues: 8, Backing: dlz.BackingPairing},
 		{Queues: 8, Backing: dlz.BackingSkiplist},
+		{Queues: 8, Backing: dlz.BackingDAry},
+		{Queues: 8, Backing: dlz.BackingDAry, Stickiness: 4, Batch: 4},
 	} {
 		q := dlz.NewMultiQueue(backing)
 		h := q.NewHandle(7)

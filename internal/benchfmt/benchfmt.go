@@ -26,7 +26,12 @@ import (
 //	2 — PR 2: schema field added; MultiCounter sweep gains the
 //	    Choices × Stickiness × Batch grid, per-setting max-deviation audits,
 //	    and a gated summary symmetric to the MultiQueue's.
-const SchemaVersion = 2
+//	3 — PR 3: MQPoint gains the backing label (ablation A4 joins the sweep)
+//	    and both point types gain allocs_per_op (single-threaded steady-state
+//	    allocation audit; the batched hot paths gate at 0). MQSummary gains
+//	    the per-backing within-envelope bests and the d-ary gate against the
+//	    PR 2 committed baseline.
+const SchemaVersion = 3
 
 // Env captures the machine context a JSON report was produced on.
 type Env struct {
@@ -61,15 +66,22 @@ type RankQuality struct {
 type MQPoint struct {
 	Threads    int     `json:"threads"`
 	M          int     `json:"m"`
+	Backing    string  `json:"backing"`
 	Stickiness int     `json:"stickiness"`
 	Batch      int     `json:"batch"`
 	Ops        int64   `json:"ops"`
 	Seconds    float64 `json:"seconds"`
 	Mops       float64 `json:"mops"`
-	// Speedup is Mops over the (Stickiness=1, Batch=1) baseline at the same
-	// (Threads, M); 1.0 for the baseline itself.
+	// Speedup is Mops over the (Backing=binary, Stickiness=1, Batch=1)
+	// baseline at the same (Threads, M) — one shared denominator so backings
+	// compare against each other as well as against the per-op baseline;
+	// 1.0 for the baseline itself.
 	Speedup float64     `json:"speedup_vs_baseline"`
 	Quality RankQuality `json:"quality"`
+	// AllocsPerOp is the single-threaded steady-state allocation count of one
+	// enqueue+dequeue pair at this (m, backing, stickiness, batch) setting —
+	// 0 for every heap-array backing once the handle buffers are warm.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // MQSummary is the headline the MultiQueue perf trajectory tracks.
@@ -91,6 +103,17 @@ type MQSummary struct {
 	// MeetsTarget reports BestWithinEnvelopeSpeedup >= 1.5, the floor this
 	// pipeline gates: the fast path must win without giving up the envelope.
 	MeetsTarget bool `json:"meets_1_5x_target_within_envelope"`
+	// BestWithinEnvelopeSpeedupByBacking is the per-backing within-envelope
+	// best at Threads >= GateThreads — the ablation-A4 comparison the d-ary
+	// gate reads.
+	BestWithinEnvelopeSpeedupByBacking map[string]float64 `json:"best_within_envelope_speedup_by_backing,omitempty"`
+	// PR2Committed echoes the committed within-envelope speedup of the PR 2
+	// BENCH_multiqueue.json (binary backing, s=8, k=8) that the d-ary batched
+	// fast path must beat at the same settings and baseline.
+	PR2Committed float64 `json:"pr2_committed_within_envelope_speedup,omitempty"`
+	// DAryMeetsCommitted reports the d-ary gate: its within-envelope best is
+	// at least PR2Committed.
+	DAryMeetsCommitted bool `json:"dary_meets_pr2_committed"`
 }
 
 // MQReport is the BENCH_multiqueue.json schema.
@@ -137,6 +160,10 @@ type MCPoint struct {
 	// relaxed-counter configuration.
 	Speedup float64         `json:"speedup_vs_baseline,omitempty"`
 	Quality *CounterQuality `json:"quality,omitempty"`
+	// AllocsPerOp is the single-threaded steady-state allocation count of one
+	// increment at this setting — 0 for every configuration (absent for the
+	// exact-faa reference, which is trivially allocation-free).
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // MCSummary is the headline the MultiCounter perf trajectory tracks,

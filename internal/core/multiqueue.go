@@ -21,13 +21,14 @@ import (
 // states: analysis guarantees apply while no insertion carries a higher
 // priority than an element already removed.
 type MultiQueue struct {
-	qs    []*cpq.Queue
-	clk   clock.Clock
-	blk   blockClock // non-nil when clk supports block reservation
-	m     int
-	d     int
-	stick int
-	batch int
+	qs      []*cpq.Queue
+	clk     clock.Clock
+	blk     blockClock // non-nil when clk supports block reservation
+	m       int
+	d       int
+	stick   int
+	batch   int
+	backing cpq.Backing
 }
 
 // blockClock is the optional fast path a clock can offer batched enqueuers:
@@ -105,12 +106,13 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	}
 	sm := rng.NewSplitMix64(cfg.Seed)
 	mq := &MultiQueue{
-		qs:    make([]*cpq.Queue, cfg.Queues),
-		clk:   cfg.Clock,
-		m:     cfg.Queues,
-		d:     cfg.Choices,
-		stick: cfg.Stickiness,
-		batch: cfg.Batch,
+		qs:      make([]*cpq.Queue, cfg.Queues),
+		clk:     cfg.Clock,
+		m:       cfg.Queues,
+		d:       cfg.Choices,
+		stick:   cfg.Stickiness,
+		batch:   cfg.Batch,
+		backing: cfg.Backing,
 	}
 	if cfg.Batch > 1 {
 		mq.blk, _ = cfg.Clock.(blockClock)
@@ -129,6 +131,9 @@ func (q *MultiQueue) Stickiness() int { return q.stick }
 
 // Batch returns the configured batching factor k (>= 1).
 func (q *MultiQueue) Batch() int { return q.batch }
+
+// Backing returns the configured per-queue sequential backing.
+func (q *MultiQueue) Backing() cpq.Backing { return q.backing }
 
 // M returns the number of internal queues.
 func (q *MultiQueue) M() int { return q.m }
@@ -172,7 +177,14 @@ type MQHandle struct {
 	enq Sampler
 	deq Sampler
 
-	// Batching state: pending inserts and the prefetched dequeue run.
+	// Batching state: pending inserts and the prefetched dequeue run. Both
+	// slices are carved from one fixed backing array sized at NewHandle with
+	// full-slice expressions capping them at Batch, so the steady-state hot
+	// path never grows either and performs zero allocations per operation
+	// (cpq.AddBatch reads at most len(inBuf) <= Batch items;
+	// cpq.DeleteMinUpTo appends at most Batch items into cap-Batch outBuf).
+	// BenchmarkMultiQueueHotPathAllocs and TestMQHandleHotPathZeroAlloc
+	// enforce the invariant.
 	inBuf  []heap.Item
 	outBuf []heap.Item
 	outPos int
@@ -192,8 +204,9 @@ func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
 		deq: NewSampler(q.m, q.d, q.stick),
 	}
 	if q.batch > 1 {
-		h.inBuf = make([]heap.Item, 0, q.batch)
-		h.outBuf = make([]heap.Item, 0, q.batch)
+		backing := make([]heap.Item, 2*q.batch)
+		h.inBuf = backing[0:0:q.batch]
+		h.outBuf = backing[q.batch : q.batch : 2*q.batch]
 	}
 	return h
 }

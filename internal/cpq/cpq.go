@@ -2,9 +2,12 @@
 // Algorithm 2 assumes as its building block: "a set of m linearizable
 // priority queues such that each supports Add(e, p), DeleteMin, ReadMin".
 //
-// Each Queue is a sequential priority queue (binary heap, pairing heap, or
-// skiplist — selectable for ablation A4) guarded by a cache-line padded
-// spinlock, plus an atomically published cached copy of the minimum priority.
+// Each Queue is a sequential priority queue (binary heap, pairing heap,
+// skiplist, or cache-shaped 4-ary heap — selectable for ablation A4) guarded
+// by a cache-line padded spinlock, plus an atomically published cached copy
+// of the minimum priority. Backings that implement heap.BulkInterface get
+// their whole-batch entry points used by AddBatch/DeleteMinUpTo, so the
+// batched fast path's critical sections avoid per-element interface calls.
 // The cache is what makes the MultiQueue's two-choice comparison cheap:
 // a dequeuer inspects two queues' ReadMin values without taking either lock,
 // then locks only the winner. The cached top is updated inside the lock's
@@ -15,6 +18,7 @@
 package cpq
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/heap"
@@ -31,12 +35,18 @@ const EmptyTop = math.MaxUint64
 type Backing int
 
 const (
-	// BackingBinary uses an array binary heap (default; best cache locality).
+	// BackingBinary uses an array binary heap (default; best cache locality
+	// among the per-element backings).
 	BackingBinary Backing = iota
 	// BackingPairing uses a pairing heap (O(1) insert).
 	BackingPairing
 	// BackingSkiplist uses a skiplist (O(1) expected delete-min).
 	BackingSkiplist
+	// BackingDAry uses a 4-ary array heap whose sibling groups align to
+	// cache lines and whose heap.BulkInterface batch operations AddBatch and
+	// DeleteMinUpTo dispatch to — the fastest backing for the batched fast
+	// path (ablation A4; DESIGN.md §5).
+	BackingDAry
 )
 
 // String returns the backing's name for benchmark labels.
@@ -48,9 +58,29 @@ func (b Backing) String() string {
 		return "pairing"
 	case BackingSkiplist:
 		return "skiplist"
+	case BackingDAry:
+		return "dary"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseBacking maps a backing's String name back to its constant, for
+// command-line flags. It returns an error naming the valid values on
+// unknown input.
+func ParseBacking(name string) (Backing, error) {
+	for _, b := range Backings() {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("cpq: unknown backing %q (want binary, pairing, skiplist or dary)", name)
+}
+
+// Backings returns every selectable backing, in declaration order — the
+// sweep axis of ablation A4 and the differential tests.
+func Backings() []Backing {
+	return []Backing{BackingBinary, BackingPairing, BackingSkiplist, BackingDAry}
 }
 
 // slAdapter bridges skiplist.List to heap.Interface.
@@ -77,6 +107,12 @@ type Queue struct {
 	top  pad.Uint64 // cached minimum priority, EmptyTop when empty
 	lock pad.SpinLock
 	pq   heap.Interface
+	// bulk is pq's optional batch extension, detected once at construction;
+	// nil for backings that only implement per-element operations. AddBatch
+	// and DeleteMinUpTo dispatch through it when present, keeping their
+	// critical sections monomorphic (one call per batch instead of one
+	// interface call per element).
+	bulk heap.BulkInterface
 }
 
 // New returns an empty queue with the given backing and capacity hint.
@@ -91,9 +127,12 @@ func New(backing Backing, capacity int, seed uint64) *Queue {
 		q.pq = heap.NewPairing(capacity)
 	case BackingSkiplist:
 		q.pq = slAdapter{skiplist.New(seed)}
+	case BackingDAry:
+		q.pq = heap.NewDAry(capacity)
 	default:
 		panic("cpq: unknown backing")
 	}
+	q.bulk, _ = q.pq.(heap.BulkInterface)
 	q.top.Store(EmptyTop)
 	return q
 }
@@ -115,18 +154,46 @@ func (q *Queue) Add(priority, value uint64) {
 	q.lock.Unlock()
 }
 
+// pushBatchLocked inserts the batch through the backing's bulk entry point
+// when it has one, or per element otherwise; callers must hold the lock.
+func (q *Queue) pushBatchLocked(items []heap.Item) {
+	if q.bulk != nil {
+		q.bulk.PushBatch(items)
+		return
+	}
+	for _, it := range items {
+		q.pq.Push(it)
+	}
+}
+
+// popUpToLocked drains up to k items into dst through the backing's bulk
+// entry point when it has one, or per element otherwise; callers must hold
+// the lock.
+func (q *Queue) popUpToLocked(k int, dst []heap.Item) []heap.Item {
+	if q.bulk != nil {
+		return q.bulk.PopBatch(k, dst)
+	}
+	for n := 0; n < k; n++ {
+		it, ok := q.pq.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	return dst
+}
+
 // AddBatch inserts all items under one lock acquisition with one cached-top
 // publish, amortising the lock hand-off and the top-store cache-line write
-// over len(items) elements. It is the insert half of the MultiQueue's
-// sticky/batched fast path; an empty batch is a no-op that takes no lock.
+// over len(items) elements — through the backing's PushBatch when it offers
+// one. It is the insert half of the MultiQueue's sticky/batched fast path;
+// an empty batch is a no-op that takes no lock.
 func (q *Queue) AddBatch(items []heap.Item) {
 	if len(items) == 0 {
 		return
 	}
 	q.lock.Lock()
-	for _, it := range items {
-		q.pq.Push(it)
-	}
+	q.pushBatchLocked(items)
 	q.publishTop()
 	q.lock.Unlock()
 }
@@ -141,9 +208,7 @@ func (q *Queue) TryAddBatch(items []heap.Item) bool {
 	if !q.lock.TryLock() {
 		return false
 	}
-	for _, it := range items {
-		q.pq.Push(it)
-	}
+	q.pushBatchLocked(items)
 	q.publishTop()
 	q.lock.Unlock()
 	return true
@@ -160,13 +225,7 @@ func (q *Queue) DeleteMinUpTo(k int, dst []heap.Item) []heap.Item {
 		return dst
 	}
 	q.lock.Lock()
-	for n := 0; n < k; n++ {
-		it, ok := q.pq.Pop()
-		if !ok {
-			break
-		}
-		dst = append(dst, it)
-	}
+	dst = q.popUpToLocked(k, dst)
 	q.publishTop()
 	q.lock.Unlock()
 	return dst
@@ -184,13 +243,7 @@ func (q *Queue) TryDeleteMinUpTo(k int, dst []heap.Item) (out []heap.Item, acqui
 	if !q.lock.TryLock() {
 		return dst, false
 	}
-	for n := 0; n < k; n++ {
-		it, ok := q.pq.Pop()
-		if !ok {
-			break
-		}
-		dst = append(dst, it)
-	}
+	dst = q.popUpToLocked(k, dst)
 	q.publishTop()
 	q.lock.Unlock()
 	return dst, true

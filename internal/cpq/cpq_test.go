@@ -8,7 +8,9 @@ import (
 	"repro/internal/rng"
 )
 
-var backings = []Backing{BackingBinary, BackingPairing, BackingSkiplist}
+// backings is every selectable backing; backing-parameterized tests sweep it
+// so a new backing is covered the moment Backings() lists it.
+var backings = Backings()
 
 func TestSequentialSemantics(t *testing.T) {
 	for _, b := range backings {
@@ -204,11 +206,20 @@ func TestConcurrentOrderIsLocallySorted(t *testing.T) {
 }
 
 func TestBackingString(t *testing.T) {
-	names := map[Backing]string{BackingBinary: "binary", BackingPairing: "pairing", BackingSkiplist: "skiplist", Backing(99): "unknown"}
+	names := map[Backing]string{BackingBinary: "binary", BackingPairing: "pairing", BackingSkiplist: "skiplist", BackingDAry: "dary", Backing(99): "unknown"}
 	for b, want := range names {
 		if b.String() != want {
 			t.Fatalf("String() = %q, want %q", b.String(), want)
 		}
+	}
+	for _, b := range Backings() {
+		got, err := ParseBacking(b.String())
+		if err != nil || got != b {
+			t.Fatalf("ParseBacking(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBacking("unknown"); err == nil {
+		t.Fatal("ParseBacking accepted an unknown name")
 	}
 }
 

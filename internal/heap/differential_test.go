@@ -1,0 +1,209 @@
+package heap
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refModel is the sorted-slice reference a heap is differentially tested
+// against: Push keeps the slice sorted, Pop takes the front. Quadratic and
+// obviously correct.
+type refModel struct{ a []uint64 }
+
+func (m *refModel) Push(p uint64) {
+	i := sort.Search(len(m.a), func(i int) bool { return m.a[i] >= p })
+	m.a = append(m.a, 0)
+	copy(m.a[i+1:], m.a[i:])
+	m.a[i] = p
+}
+
+func (m *refModel) Pop() (uint64, bool) {
+	if len(m.a) == 0 {
+		return 0, false
+	}
+	p := m.a[0]
+	m.a = m.a[1:]
+	return p, true
+}
+
+// bulkImpls returns every heap in the package, wrapped so the differential
+// driver can exercise the bulk entry points where they exist and fall back
+// to per-element loops where they do not (pairing heap).
+func bulkImpls() map[string]func() Interface {
+	return map[string]func() Interface{
+		"binary":  func() Interface { return NewBinary(4) },
+		"pairing": func() Interface { return NewPairing(4) },
+		"dary":    func() Interface { return NewDAry(4) },
+	}
+}
+
+// applyDifferentialOps drives one heap and the reference model through the
+// operation stream encoded in data and reports the first divergence. Each
+// byte selects an operation; priorities are drawn from a seeded generator so
+// the stream stays byte-dense for the fuzzer (every input decodes to a valid
+// sequence). Batch sizes intentionally cross the k >= n Floyd-heapify
+// threshold of PushBatch.
+func applyDifferentialOps(t *testing.T, name string, h Interface, data []byte) {
+	t.Helper()
+	var ref refModel
+	r := rng.NewXoshiro256(uint64(len(data)) + 1)
+	bulk, hasBulk := h.(BulkInterface)
+	var scratch []Item
+	for opIdx, op := range data {
+		switch op % 5 {
+		case 0, 1: // single push (biased so heaps grow)
+			p := r.Uint64n(64)
+			h.Push(Item{Priority: p, Value: r.Next()})
+			ref.Push(p)
+		case 2: // single pop
+			want, wantOK := ref.Pop()
+			it, ok := h.Pop()
+			if ok != wantOK || (ok && it.Priority != want) {
+				t.Fatalf("%s: op %d Pop = (%d,%v), want (%d,%v)", name, opIdx, it.Priority, ok, want, wantOK)
+			}
+		case 3: // batch push, size 0..16
+			k := int(op / 5 % 17)
+			scratch = scratch[:0]
+			for i := 0; i < k; i++ {
+				p := r.Uint64n(64)
+				scratch = append(scratch, Item{Priority: p, Value: r.Next()})
+				ref.Push(p)
+			}
+			if hasBulk {
+				bulk.PushBatch(scratch)
+			} else {
+				for _, it := range scratch {
+					h.Push(it)
+				}
+			}
+		case 4: // batch pop, size 0..16
+			k := int(op / 5 % 17)
+			if hasBulk {
+				scratch = bulk.PopBatch(k, scratch[:0])
+			} else {
+				scratch = scratch[:0]
+				for i := 0; i < k; i++ {
+					it, ok := h.Pop()
+					if !ok {
+						break
+					}
+					scratch = append(scratch, it)
+				}
+			}
+			for i, it := range scratch {
+				want, wantOK := ref.Pop()
+				if !wantOK || it.Priority != want {
+					t.Fatalf("%s: op %d PopBatch[%d] = %d, want (%d,%v)", name, opIdx, i, it.Priority, want, wantOK)
+				}
+			}
+			if k > len(scratch) && len(ref.a) != 0 {
+				t.Fatalf("%s: op %d PopBatch stopped at %d with %d items left", name, opIdx, len(scratch), len(ref.a))
+			}
+		}
+		if h.Len() != len(ref.a) {
+			t.Fatalf("%s: op %d Len = %d, want %d", name, opIdx, h.Len(), len(ref.a))
+		}
+		if len(ref.a) > 0 {
+			it, ok := h.Peek()
+			if !ok || it.Priority != ref.a[0] {
+				t.Fatalf("%s: op %d Peek = (%d,%v), want %d", name, opIdx, it.Priority, ok, ref.a[0])
+			}
+		}
+	}
+	// Drain and compare the full remaining order.
+	for len(ref.a) > 0 {
+		want, _ := ref.Pop()
+		it, ok := h.Pop()
+		if !ok || it.Priority != want {
+			t.Fatalf("%s: drain Pop = (%d,%v), want %d", name, it.Priority, ok, want)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatalf("%s: heap non-empty after model drained", name)
+	}
+}
+
+// TestDifferentialRandomOps drives every heap through long pseudo-random
+// operation streams against the sorted-slice model — the property-test
+// complement of the byte-driven fuzz target below.
+func TestDifferentialRandomOps(t *testing.T) {
+	for name, mk := range bulkImpls() {
+		t.Run(name, func(t *testing.T) {
+			r := rng.NewXoshiro256(99)
+			for round := 0; round < 20; round++ {
+				data := make([]byte, 400)
+				for i := range data {
+					data[i] = byte(r.Next())
+				}
+				applyDifferentialOps(t, name, mk(), data)
+			}
+		})
+	}
+}
+
+// FuzzHeapDifferential is the coverage-guided entry point over the same
+// driver; its seed corpus runs on every plain `go test` (and so under -race
+// in CI), and `go test -fuzz=FuzzHeapDifferential ./internal/heap` explores
+// further.
+func FuzzHeapDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4})
+	f.Add([]byte{3, 3, 3, 4, 4, 2, 0, 19, 24, 255, 254, 253})
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		for name, mk := range bulkImpls() {
+			applyDifferentialOps(t, name, mk(), data)
+		}
+	})
+}
+
+// TestPushBatchHeapifyThreshold pins the Floyd fallback: a batch at least as
+// large as the existing heap must still produce a valid heap and the exact
+// sorted drain, for both array heaps and both sides of the threshold.
+func TestPushBatchHeapifyThreshold(t *testing.T) {
+	for _, pre := range []int{0, 1, 7, 64} {
+		for _, k := range []int{0, 1, pre, pre + 1, 4 * pre, 100} {
+			r := rng.NewXoshiro256(uint64(pre*1000 + k))
+			var want []uint64
+			batch := make([]Item, 0, k)
+			bin, dar := NewBinary(0), NewDAry(0)
+			for i := 0; i < pre; i++ {
+				p := r.Uint64n(512)
+				bin.Push(Item{Priority: p})
+				dar.Push(Item{Priority: p})
+				want = append(want, p)
+			}
+			for i := 0; i < k; i++ {
+				p := r.Uint64n(512)
+				batch = append(batch, Item{Priority: p})
+				want = append(want, p)
+			}
+			bin.PushBatch(batch)
+			dar.PushBatch(batch)
+			if !bin.Verify() || !dar.Verify() {
+				t.Fatalf("pre=%d k=%d: heap invariant violated after PushBatch", pre, k)
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			gotBin := bin.PopBatch(len(want)+1, nil)
+			gotDar := dar.PopBatch(len(want)+1, nil)
+			for i, w := range want {
+				if gotBin[i].Priority != w || gotDar[i].Priority != w {
+					t.Fatalf("pre=%d k=%d: drain[%d] binary=%d dary=%d want %d",
+						pre, k, i, gotBin[i].Priority, gotDar[i].Priority, w)
+				}
+			}
+			if len(gotBin) != len(want) || len(gotDar) != len(want) {
+				t.Fatalf("pre=%d k=%d: drained %d/%d items, want %d", pre, k, len(gotBin), len(gotDar), len(want))
+			}
+		}
+	}
+}

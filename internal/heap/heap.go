@@ -1,10 +1,11 @@
 // Package heap provides the sequential priority-queue substrates that back
-// the MultiQueue's per-queue storage: an array binary min-heap and a pairing
-// heap with node recycling.
+// the MultiQueue's per-queue storage: an array binary min-heap, a
+// cache-line-friendly 4-ary min-heap with bulk batch operations (DAry), and
+// a pairing heap with node recycling.
 //
-// Both order Items by Priority with ties broken by insertion order being
+// All order Items by Priority with ties broken by insertion order being
 // irrelevant (the MultiQueue's timestamps are unique per enqueue, so ties
-// occur only in synthetic tests). Both are deliberately not concurrent; the
+// occur only in synthetic tests). All are deliberately not concurrent; the
 // internal/cpq package owns locking, mirroring the paper's assumption of "a
 // set of m linearizable priority queues" built from sequential ones.
 package heap
@@ -17,7 +18,8 @@ type Item struct {
 }
 
 // Interface is the sequential min-priority-queue contract shared by the
-// binary heap, the pairing heap, and the skiplist adapter in internal/cpq.
+// binary heap, the pairing heap, the d-ary heap, and the skiplist adapter in
+// internal/cpq.
 type Interface interface {
 	// Push inserts an item.
 	Push(Item)
@@ -28,6 +30,24 @@ type Interface interface {
 	Peek() (it Item, ok bool)
 	// Len returns the number of stored items.
 	Len() int
+}
+
+// BulkInterface is the optional extension array-backed heaps offer on top of
+// Interface: whole-batch insert and drain without per-element interface
+// dispatch. internal/cpq type-asserts for it at construction and routes
+// AddBatch/DeleteMinUpTo through the bulk entry points when present, so
+// backings that cannot implement it (pairing heap, skiplist) keep working
+// through the per-element loop unchanged.
+type BulkInterface interface {
+	Interface
+	// PushBatch inserts every item of the batch, amortising invariant
+	// maintenance over the whole batch (see DAry.PushBatch for the cost
+	// model). An empty batch is a no-op.
+	PushBatch(items []Item)
+	// PopBatch removes up to k minimum items, appending them to dst in
+	// ascending priority order and returning the extended slice; it stops
+	// early when the heap runs empty and returns dst unchanged for k <= 0.
+	PopBatch(k int, dst []Item) []Item
 }
 
 // Binary is an array-backed binary min-heap. The zero value is an empty
@@ -76,6 +96,44 @@ func (h *Binary) Pop() (Item, bool) {
 // Reset empties the heap, retaining capacity.
 func (h *Binary) Reset() { h.a = h.a[:0] }
 
+// PushBatch appends all items, then sifts each appended slot up its ancestor
+// path — O(k·log n) over only the paths the batch dirtied — falling back to
+// Floyd's O(n + k) heapify when the batch rivals the existing heap. It is
+// Binary's BulkInterface entry point; see DAry.PushBatch for the cost model.
+func (h *Binary) PushBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	old := len(h.a)
+	h.a = append(h.a, items...)
+	if len(items) >= old {
+		for i := len(h.a)/2 - 1; i >= 0; i-- {
+			h.down(i)
+		}
+		return
+	}
+	for i := old; i < len(h.a); i++ {
+		h.up(i)
+	}
+}
+
+// PopBatch removes up to k minimum items, appending them to dst in ascending
+// priority order and returning the extended slice, with no per-element
+// interface dispatch. It stops early when the heap runs empty; k <= 0
+// returns dst unchanged.
+func (h *Binary) PopBatch(k int, dst []Item) []Item {
+	for ; k > 0 && len(h.a) > 0; k-- {
+		dst = append(dst, h.a[0])
+		last := len(h.a) - 1
+		h.a[0] = h.a[last]
+		h.a = h.a[:last]
+		if last > 0 {
+			h.down(0)
+		}
+	}
+	return dst
+}
+
 func (h *Binary) up(i int) {
 	it := h.a[i]
 	for i > 0 {
@@ -121,8 +179,12 @@ func (h *Binary) Verify() bool {
 	return true
 }
 
-// Static assertion that both heaps satisfy Interface.
+// Static assertions: every heap satisfies Interface; the array-backed heaps
+// additionally satisfy BulkInterface.
 var (
-	_ Interface = (*Binary)(nil)
-	_ Interface = (*Pairing)(nil)
+	_ Interface     = (*Binary)(nil)
+	_ Interface     = (*Pairing)(nil)
+	_ Interface     = (*DAry)(nil)
+	_ BulkInterface = (*Binary)(nil)
+	_ BulkInterface = (*DAry)(nil)
 )

@@ -70,7 +70,8 @@ func (p *Bool) Store(x bool) { p.v.Store(x) }
 func (p *Bool) CompareAndSwap(old, new bool) bool { return p.v.CompareAndSwap(old, new) }
 
 // SpinLock is a cache-line padded test-and-test-and-set spinlock with
-// exponential backoff. MultiQueue priority queues use TryLock so that a
+// adaptive spin-then-yield backoff (see Backoff). MultiQueue priority
+// queues use TryLock so that a
 // dequeuer can simply re-draw its random choices instead of waiting behind a
 // contended queue — the "lock-free usage of locks" idiom from the MultiQueue
 // literature.
@@ -85,23 +86,34 @@ func (l *SpinLock) TryLock() bool {
 	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
 }
 
-// Lock acquires the lock, spinning with exponential backoff and yielding to
-// the scheduler once the backoff saturates (essential on oversubscribed
-// runs, where the lock holder may be descheduled).
+// Lock acquires the lock with adaptive spin-then-yield backoff: an
+// uncontended acquire is a single CAS (the TryLock fast path, kept apart so
+// it inlines); under contention the slow path spins read-only on the state
+// word — no CAS traffic while the lock is held, so the holder's release
+// write is not fighting invalidations — pausing between probes with
+// Backoff's bounded exponential schedule and escalating to runtime.Gosched
+// once the pause budget saturates (essential on oversubscribed runs, where
+// the lock holder may be descheduled).
 func (l *SpinLock) Lock() {
-	backoff := 1
+	if l.TryLock() {
+		return
+	}
+	l.lockSlow()
+}
+
+func (l *SpinLock) lockSlow() {
+	var b Backoff
 	for {
-		if l.TryLock() {
+		for l.state.Load() != 0 {
+			b.Pause()
+		}
+		if l.state.CompareAndSwap(0, 1) {
 			return
 		}
-		for i := 0; i < backoff; i++ {
-			spinHint()
-		}
-		if backoff < 1<<10 {
-			backoff <<= 1
-		} else {
-			runtime.Gosched()
-		}
+		// Lost the race to another waiter: back off before re-probing so
+		// the winner's critical section isn't slowed by our coherence
+		// traffic.
+		b.Pause()
 	}
 }
 
@@ -115,6 +127,54 @@ func (l *SpinLock) Unlock() {
 
 // Locked reports whether the lock is currently held (racy; for stats only).
 func (l *SpinLock) Locked() bool { return l.state.Load() != 0 }
+
+// Backoff is an adaptive spin-then-yield pause schedule for contended
+// retry loops: successive Pause calls double a bounded busy-wait (starting
+// at backoffMinSpins hint iterations, capped at backoffMaxSpins so one
+// waiter can never burn unbounded cycles between probes), then escalate to
+// runtime.Gosched so a descheduled lock holder gets the CPU back. The zero
+// value is ready to use; a Backoff is single-goroutine state and is not
+// safe for concurrent use.
+type Backoff struct {
+	spins int
+}
+
+const (
+	// backoffMinSpins is the first pause's busy-wait length — short enough
+	// that a briefly-held lock is re-probed within tens of nanoseconds.
+	backoffMinSpins = 4
+	// backoffMaxSpins bounds the exponential growth (the "bounded" in
+	// bounded exponential pause); past it every Pause yields instead.
+	backoffMaxSpins = 1 << 8
+)
+
+// Pause blocks the calling goroutine for the next step of the schedule:
+// a bounded exponentially growing busy-wait while cheap, a scheduler yield
+// once saturated.
+func (b *Backoff) Pause() {
+	if b.spins < backoffMaxSpins {
+		if b.spins == 0 {
+			b.spins = backoffMinSpins
+		} else {
+			b.spins <<= 1
+		}
+		for i := 0; i < b.spins; i++ {
+			spinHint()
+		}
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset rewinds the schedule to the initial short pause. Retry loops that
+// made progress (acquired the lock, drained an element) call it before
+// re-entering a wait, so one long contention episode does not condemn the
+// next to starting at the yield stage.
+func (b *Backoff) Reset() { b.spins = 0 }
+
+// Yielding reports whether the schedule has saturated its spin budget and
+// is now yielding to the scheduler on every Pause.
+func (b *Backoff) Yielding() bool { return b.spins >= backoffMaxSpins }
 
 // spinHint burns a few cycles without touching memory. Go exposes no PAUSE
 // intrinsic; an empty loop iteration plus the call overhead approximates it
