@@ -488,7 +488,7 @@ func BenchmarkHeapBulkOps(b *testing.B) {
 					in[j] = heap.Item{Priority: r.Next()}
 				}
 				h.PushBatch(in)
-				out = h.PopBatch(k, out[:0])
+				out, _, _ = h.PopBatch(k, out[:0])
 			}
 		})
 	}

@@ -13,18 +13,27 @@
 // allocs/op audit, and summarize the best within-envelope speedup at >= 8
 // goroutines — the >= 1.5x regression gate EXPERIMENTS.md records. The
 // MultiQueue sweep additionally covers the d-ary bulk backing (ablation A4)
-// and gates it against the PR 2 committed within-envelope speedup at the
-// same settings, and the batched hot paths gate at 0 allocs/op. The process
-// exits non-zero if any gate fails.
+// and the topcache axis (ablation A5: the same settings with the lock-free
+// top-word cache disabled, every ReadMin through the queue lock), gates the
+// cached path against the PR 3 committed per-backing within-envelope
+// speedups (binary 1.80x, dary 1.77x), and gates the batched hot paths at
+// 0 allocs/op. The process exits non-zero if any gate fails.
 //
 // Usage:
 //
 //	benchall [-dur 500ms] [-maxthreads 8] [-mfactor 4] [-out .] [-seed 5] [-quick]
+//	benchall -validate FILE...
 //
 // -quick runs a tiny ungated sweep (two thread counts, one m per thread
-// count, a three-setting grid, single rep, truncated audits) so CI can smoke
-// the whole JSON pipeline in seconds; quick reports are for pipeline
-// validation only and must not be committed as BENCH_*.json.
+// count, a small grid, single rep, truncated audits) so CI can smoke the
+// whole JSON pipeline in seconds; quick reports are for pipeline validation
+// only and must not be committed as BENCH_*.json. Written report paths are
+// printed either way, so CI logs and artifact steps can point at them.
+//
+// -validate round-trips existing report files through internal/benchfmt
+// (strict schema decode, structural checks, canonical re-marshal byte
+// comparison) without running any benchmark — the CI step that catches
+// schema drift before a full gated run would.
 package main
 
 import (
@@ -45,37 +54,47 @@ import (
 	"repro/internal/stats"
 )
 
-// pr2CommittedMQSpeedup is the within-envelope speedup the PR 2
-// BENCH_multiqueue.json committed (binary backing, s=8, k=8, m=128 at 8
-// goroutines). The d-ary bulk backing gates against it: its own
-// within-envelope best over the same per-op baseline must be at least this,
-// or the cache-shaped substrate regressed the batched fast path.
-const pr2CommittedMQSpeedup = 1.635
+// pr3CommittedMQSpeedup holds the per-backing within-envelope speedups the
+// PR 3 BENCH_multiqueue.json committed (s=8, k=8, m=128 at 8 goroutines,
+// binary per-op baseline denominator). The lock-free top-cache read path
+// gates against them: its own within-envelope bests must be at least these,
+// or moving ReadMin and the empty scan off the lock regressed the fast path
+// it exists to serve.
+var pr3CommittedMQSpeedup = map[string]float64{
+	cpq.BackingBinary.String(): 1.80,
+	cpq.BackingDAry.String():   1.77,
+}
 
-// mqSetting is one MultiQueue sweep configuration: the per-queue backing and
-// the (stickiness, batch) amortisation knobs.
+// mqSetting is one MultiQueue sweep configuration: the per-queue backing,
+// the (stickiness, batch) amortisation knobs, and whether the lock-free top
+// cache is disabled (the locked-ReadMin ablation A5).
 type mqSetting struct {
 	backing      cpq.Backing
 	stick, batch int
+	lockedRead   bool
 }
 
 // mqSweep is the grid the MultiQueue sweep covers: the binary per-op
 // baseline, each knob alone, the quality-safe combined setting (inside the
 // m·log m envelope at m >= 64; see cmd/quality -queue), the deeper batch
-// point for the throughput ceiling — and the d-ary bulk backing at the
-// per-op, combined and deep points (ablation A4), sharing the binary per-op
-// baseline denominator.
+// point for the throughput ceiling, the d-ary bulk backing at the per-op,
+// combined and deep points (ablation A4, sharing the binary per-op baseline
+// denominator) — and the locked-ReadMin ablation A5 at both backings'
+// combined setting, so the cached-vs-locked delta is measured where the
+// gates live.
 var mqSweep = []mqSetting{
-	{cpq.BackingBinary, 1, 1},
-	{cpq.BackingBinary, 4, 1},
-	{cpq.BackingBinary, 1, 4},
-	{cpq.BackingBinary, 4, 4},
-	{cpq.BackingBinary, 8, 8},
-	{cpq.BackingBinary, 16, 16},
-	{cpq.BackingDAry, 1, 1},
-	{cpq.BackingDAry, 4, 4},
-	{cpq.BackingDAry, 8, 8},
-	{cpq.BackingDAry, 16, 16},
+	{cpq.BackingBinary, 1, 1, false},
+	{cpq.BackingBinary, 4, 1, false},
+	{cpq.BackingBinary, 1, 4, false},
+	{cpq.BackingBinary, 4, 4, false},
+	{cpq.BackingBinary, 8, 8, false},
+	{cpq.BackingBinary, 16, 16, false},
+	{cpq.BackingDAry, 1, 1, false},
+	{cpq.BackingDAry, 4, 4, false},
+	{cpq.BackingDAry, 8, 8, false},
+	{cpq.BackingDAry, 16, 16, false},
+	{cpq.BackingBinary, 8, 8, true},
+	{cpq.BackingDAry, 8, 8, true},
 }
 
 // counterSweep is the (choices, stickiness, batch) grid the MultiCounter
@@ -110,16 +129,21 @@ type sweepParams struct {
 
 func fullParams(mfactor, maxThreads int) sweepParams {
 	return sweepParams{
-		// 7 reps for the queue: the dary-vs-committed gate compares a ratio of
+		// 7 reps for the queue: the committed-speedup gates compare ratios of
 		// two best-of estimates, and on a shared 1-CPU host five 500 ms
 		// windows still leave ±5% flap — enough to trip a ~4% margin.
 		mqReps: 7, mcReps: 3,
 		rankOps: 50_000, counterIncs: 200_000, counterSamples: 50,
 		allocRuns: 500, allocWarm: 4096,
-		gate:              true,
-		mqSettings:        mqSweep,
-		counterSettings:   counterSweep,
-		mFactorsPerThread: []int{mfactor, 2 * mfactor, 4 * mfactor},
+		gate:            true,
+		mqSettings:      mqSweep,
+		counterSettings: counterSweep,
+		// The 8x factor (m = 256 at 8 goroutines) joined in PR 4: speedups
+		// rise monotonically with m (less per-lock contention) and the
+		// m·log m envelope widens faster than the measured max(s,k)·m/2 rank
+		// cost, so the deep end is where the amortised fast path peaks while
+		// staying within-envelope.
+		mFactorsPerThread: []int{mfactor, 2 * mfactor, 4 * mfactor, 8 * mfactor},
 		threadCountsOf:    harness.ThreadCounts,
 	}
 }
@@ -135,9 +159,10 @@ func quickParams(mfactor, maxThreads int) sweepParams {
 		allocRuns: 50, allocWarm: 512,
 		gate: false,
 		mqSettings: []mqSetting{
-			{cpq.BackingBinary, 1, 1},
-			{cpq.BackingBinary, 8, 8},
-			{cpq.BackingDAry, 8, 8},
+			{cpq.BackingBinary, 1, 1, false},
+			{cpq.BackingBinary, 8, 8, false},
+			{cpq.BackingDAry, 8, 8, false},
+			{cpq.BackingBinary, 8, 8, true}, // topcache axis in the smoke schema
 		},
 		counterSettings: []struct{ d, stick, batch int }{
 			{2, 1, 1},
@@ -155,7 +180,29 @@ func main() {
 	out := flag.String("out", ".", "directory for the JSON reports")
 	seed := flag.Uint64("seed", 5, "PRNG seed")
 	quick := flag.Bool("quick", false, "tiny ungated smoke sweep for CI (validates the pipeline, not the numbers)")
+	validate := flag.Bool("validate", false, "validate existing BENCH_*.json files (args) against the schema and exit")
 	flag.Parse()
+
+	if *validate {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "benchall: -validate needs at least one report file argument")
+			os.Exit(2)
+		}
+		failed := false
+		for _, path := range flag.Args() {
+			bench, err := benchfmt.ValidateFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchall: validate: %v\n", err)
+				failed = true
+				continue
+			}
+			fmt.Printf("benchall: validate: %s ok (%s, schema %d)\n", path, bench, benchfmt.SchemaVersion)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	params := fullParams(*mfactor, *maxThreads)
 	if *quick {
@@ -188,12 +235,16 @@ func main() {
 		mq.Summary.BestWithinEnvelope.Quality.Envelope, mq.Summary.MeetsTarget)
 	for _, backing := range cpq.Backings() {
 		if sp, ok := mq.Summary.BestWithinEnvelopeSpeedupByBacking[backing.String()]; ok {
-			fmt.Printf("multiqueue: backing %-8s best within-envelope %.2fx\n", backing, sp)
+			line := fmt.Sprintf("multiqueue: backing %-8s best within-envelope %.2fx (topcache)", backing, sp)
+			if locked, ok := mq.Summary.LockedReadBestByBacking[backing.String()]; ok {
+				line += fmt.Sprintf(", %.2fx locked-read", locked)
+			}
+			fmt.Println(line)
 		}
 	}
 	if params.gate {
-		fmt.Printf("multiqueue: dary gate vs PR 2 committed %.3fx met: %v\n",
-			mq.Summary.PR2Committed, mq.Summary.DAryMeetsCommitted)
+		fmt.Printf("multiqueue: topcache gate vs PR 3 committed %v met: %v\n",
+			mq.Summary.CommittedByBacking, mq.Summary.MeetsCommitted)
 	}
 
 	mc := runMultiCounterSweep(*dur, *maxThreads, *seed, env, params)
@@ -217,8 +268,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchall: sticky/batched MultiQueue did not reach 1.5x over the per-op baseline")
 		failed = true
 	}
-	if !mq.Summary.DAryMeetsCommitted {
-		fmt.Fprintf(os.Stderr, "benchall: d-ary batched MultiQueue did not reach the PR 2 committed %.3fx within-envelope speedup\n", pr2CommittedMQSpeedup)
+	if !mq.Summary.MeetsCommitted {
+		fmt.Fprintf(os.Stderr, "benchall: top-cache read path did not reach the PR 3 committed per-backing speedups %v (got %v)\n",
+			mq.Summary.CommittedByBacking, mq.Summary.BestWithinEnvelopeSpeedupByBacking)
 		failed = true
 	}
 	if bad := allocGateViolations(mq, mc); len(bad) > 0 {
@@ -244,7 +296,7 @@ func allocGateViolations(mq *benchfmt.MQReport, mc *benchfmt.MCReport) []string 
 	var bad []string
 	seen := map[string]bool{}
 	for _, pt := range mq.Points {
-		key := fmt.Sprintf("multiqueue %s s=%d k=%d m=%d: %.2f allocs/op", pt.Backing, pt.Stickiness, pt.Batch, pt.M, pt.AllocsPerOp)
+		key := fmt.Sprintf("multiqueue %s s=%d k=%d m=%d topcache=%v: %.2f allocs/op", pt.Backing, pt.Stickiness, pt.Batch, pt.M, pt.TopCache, pt.AllocsPerOp)
 		if pt.AllocsPerOp != 0 && !seen[key] {
 			seen[key] = true
 			bad = append(bad, key)
@@ -268,14 +320,15 @@ func allocGateViolations(mq *benchfmt.MQReport, mc *benchfmt.MCReport) []string 
 // single-threaded rank quality and allocs/op of each setting to its points.
 func runMultiQueueSweep(dur time.Duration, maxThreads int, seed uint64, env benchfmt.Env, params sweepParams) *benchfmt.MQReport {
 	rep := &benchfmt.MQReport{
-		Bench: "multiqueue-sticky-batched", Schema: benchfmt.SchemaVersion,
+		Bench: benchfmt.MQBench, Schema: benchfmt.SchemaVersion,
 		Env: env, DurMS: dur.Milliseconds(),
 	}
 	rep.Summary.GateThreads = gateThreads(maxThreads)
 	rep.Summary.BestWithinEnvelopeSpeedupByBacking = map[string]float64{}
-	rep.Summary.PR2Committed = pr2CommittedMQSpeedup
+	rep.Summary.LockedReadBestByBacking = map[string]float64{}
+	rep.Summary.CommittedByBacking = pr3CommittedMQSpeedup
 	baseline := map[[2]int]float64{}   // (threads, m) -> baseline mops
-	audits := map[mqAuditKey]mqAudit{} // (m, backing, stick, batch) -> audits
+	audits := map[mqAuditKey]mqAudit{} // (m, backing, stick, batch, topcache) -> audits
 	for _, threads := range params.threadCountsOf(maxThreads) {
 		for _, mf := range params.mFactorsPerThread {
 			m := mf * threads
@@ -283,8 +336,12 @@ func runMultiQueueSweep(dur time.Duration, maxThreads int, seed uint64, env benc
 		}
 	}
 	rep.Summary.MeetsTarget = rep.Summary.BestWithinEnvelopeSpeedup >= 1.5
-	rep.Summary.DAryMeetsCommitted =
-		rep.Summary.BestWithinEnvelopeSpeedupByBacking[cpq.BackingDAry.String()] >= pr2CommittedMQSpeedup
+	rep.Summary.MeetsCommitted = true
+	for backing, committed := range pr3CommittedMQSpeedup {
+		if rep.Summary.BestWithinEnvelopeSpeedupByBacking[backing] < committed {
+			rep.Summary.MeetsCommitted = false
+		}
+	}
 	return rep
 }
 
@@ -301,6 +358,7 @@ func gateThreads(maxThreads int) int {
 type mqAuditKey struct {
 	m, stick, batch int
 	backing         cpq.Backing
+	lockedRead      bool
 }
 
 type mqAudit struct {
@@ -325,6 +383,7 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 			// max-over-reps comparison.
 			q := core.NewMultiQueue(core.MultiQueueConfig{
 				Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+				LockedTopRead: g.lockedRead,
 			})
 			pre := q.NewHandle(seed + 1)
 			for i := 0; i < 10_000; i++ {
@@ -345,7 +404,7 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 				bestOps, bestElapsed, bestMops = ops, elapsed, mops
 			}
 		}
-		qkey := mqAuditKey{m: m, stick: g.stick, batch: g.batch, backing: g.backing}
+		qkey := mqAuditKey{m: m, stick: g.stick, batch: g.batch, backing: g.backing, lockedRead: g.lockedRead}
 		if _, done := audits[qkey]; !done {
 			audits[qkey] = mqAudit{
 				quality: measureRankQuality(m, g, seed, params),
@@ -363,27 +422,40 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 			Mops:        bestMops,
 			Quality:     audits[qkey].quality,
 			AllocsPerOp: audits[qkey].allocs,
+			TopCache:    !g.lockedRead,
 		}
 		key := [2]int{threads, m}
-		if g.backing == cpq.BackingBinary && g.stick == 1 && g.batch == 1 {
+		if g.backing == cpq.BackingBinary && g.stick == 1 && g.batch == 1 && !g.lockedRead {
 			baseline[key] = pt.Mops
 		}
 		if base := baseline[key]; base > 0 {
 			pt.Speedup = pt.Mops / base
 		}
 		rep.Points = append(rep.Points, pt)
-		if threads >= rep.Summary.GateThreads && pt.Speedup > rep.Summary.BestSpeedup {
+		if threads < rep.Summary.GateThreads {
+			continue
+		}
+		if pt.TopCache && pt.Speedup > rep.Summary.BestSpeedup {
 			rep.Summary.BestSpeedup = pt.Speedup
 			rep.Summary.Best = pt
 		}
-		if threads >= rep.Summary.GateThreads && pt.Quality.WithinEnvelope {
-			if pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
-				rep.Summary.BestWithinEnvelopeSpeedup = pt.Speedup
-				rep.Summary.BestWithinEnvelope = pt
+		if !pt.Quality.WithinEnvelope {
+			continue
+		}
+		if !pt.TopCache {
+			// Ablation A5 points feed the cached-vs-locked comparison but
+			// never the headline bests or the committed gates.
+			if pt.Speedup > rep.Summary.LockedReadBestByBacking[pt.Backing] {
+				rep.Summary.LockedReadBestByBacking[pt.Backing] = pt.Speedup
 			}
-			if pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedupByBacking[pt.Backing] {
-				rep.Summary.BestWithinEnvelopeSpeedupByBacking[pt.Backing] = pt.Speedup
-			}
+			continue
+		}
+		if pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedup {
+			rep.Summary.BestWithinEnvelopeSpeedup = pt.Speedup
+			rep.Summary.BestWithinEnvelope = pt
+		}
+		if pt.Speedup > rep.Summary.BestWithinEnvelopeSpeedupByBacking[pt.Backing] {
+			rep.Summary.BestWithinEnvelopeSpeedupByBacking[pt.Backing] = pt.Speedup
 		}
 	}
 }
@@ -394,6 +466,7 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 func measureRankQuality(m int, g mqSetting, seed uint64, params sweepParams) benchfmt.RankQuality {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
 		Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+		LockedTopRead: g.lockedRead,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, params.rankOps)
 	mean := sample.Mean()
@@ -408,6 +481,7 @@ func measureRankQuality(m int, g mqSetting, seed uint64, params sweepParams) ben
 func measureMQAllocs(m int, g mqSetting, seed uint64, params sweepParams) float64 {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
 		Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+		LockedTopRead: g.lockedRead,
 	})
 	h := q.NewHandle(seed + 2)
 	for i := 0; i < params.allocWarm; i++ {
@@ -430,7 +504,7 @@ func measureMQAllocs(m int, g mqSetting, seed uint64, params sweepParams) float6
 // baseline.
 func runMultiCounterSweep(dur time.Duration, maxThreads int, seed uint64, env benchfmt.Env, params sweepParams) *benchfmt.MCReport {
 	rep := &benchfmt.MCReport{
-		Bench: "multicounter-sticky-batched", Schema: benchfmt.SchemaVersion,
+		Bench: benchfmt.MCBench, Schema: benchfmt.SchemaVersion,
 		Env: env, DurMS: dur.Milliseconds(),
 		Summary: &benchfmt.MCSummary{GateThreads: gateThreads(maxThreads)},
 	}
@@ -562,9 +636,12 @@ func measureMCAllocs(m, d, stickiness, batch int, seed uint64, params sweepParam
 	return testing.AllocsPerRun(params.allocRuns, func() { h.Increment() })
 }
 
+// writeReport writes one JSON report and prints its path, so a failing run's
+// logs (and CI's artifact step) name the exact files to inspect.
 func writeReport(path string, v any) {
 	if err := benchfmt.WriteFile(path, v); err != nil {
 		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Printf("benchall: wrote %s\n", path)
 }

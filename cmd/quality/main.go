@@ -22,7 +22,13 @@
 // Usage:
 //
 //	quality [-m 64] [-incs 1000000] [-samples 50] [-choices 2] [-stickiness 1] [-batch 1] [-csv]
-//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-backing binary] [-csv]
+//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-backing binary] [-lockedtop] [-csv]
+//
+// -lockedtop (with -queue) disables the lock-free top-word cache (ablation
+// A5), so the rank-error audit measures the locked-ReadMin configuration the
+// topcache=false benchall points run — the two paths read identically fresh
+// values single-threaded, so matching verdicts here are the sanity check
+// that the cache changes cost, not quality.
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 	stickiness := flag.Int("stickiness", 1, "operation stickiness window")
 	batch := flag.Int("batch", 1, "batching factor")
 	backingName := flag.String("backing", "binary", "per-queue backing for -queue: binary, pairing, skiplist or dary")
+	lockedTop := flag.Bool("lockedtop", false, "disable the lock-free top cache for -queue (ablation A5: ReadMin through the lock)")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
 	seed := flag.Uint64("seed", 7, "PRNG seed")
 	flag.Parse()
@@ -73,7 +80,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "quality: %v\n", err)
 			os.Exit(2)
 		}
-		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, backing, *seed, *csv) {
+		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, backing, *lockedTop, *seed, *csv) {
 			os.Exit(1)
 		}
 		return
@@ -130,10 +137,10 @@ func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch in
 // logically enqueued labels, exactly like the dlin queue-spec replay. It
 // reports the distribution against Theorem 7.1's scales and returns whether
 // the measured mean lies inside the O(m·log m) envelope.
-func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing, seed uint64, csv bool) bool {
+func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing, lockedTop bool, seed uint64, csv bool) bool {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
 		Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
-		Backing: backing,
+		Backing: backing, LockedTopRead: lockedTop,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
 	envelope := dlin.Envelope(m)
@@ -145,9 +152,13 @@ func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing
 	}
 	// Report the normalized knobs (0 becomes 1), not the raw flags, so the
 	// header names the configuration actually measured.
+	top := "topcache"
+	if q.LockedTopRead() {
+		top = "lockedtop"
+	}
 	tb := harness.NewTable(
-		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, backing=%s, single thread)",
-			m, q.Choices(), q.Stickiness(), q.Batch(), q.Backing()),
+		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, backing=%s, %s, single thread)",
+			m, q.Choices(), q.Stickiness(), q.Batch(), q.Backing(), top),
 		"metric", "value", "theory-scale")
 	tb.Add("mean", mean, fmt.Sprintf("O(m)=%d", m))
 	tb.Add("p50", sample.Quantile(0.5), "")

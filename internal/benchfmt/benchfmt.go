@@ -9,8 +9,10 @@
 package benchfmt
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -31,7 +33,14 @@ import (
 //	    allocation audit; the batched hot paths gate at 0). MQSummary gains
 //	    the per-backing within-envelope bests and the d-ary gate against the
 //	    PR 2 committed baseline.
-const SchemaVersion = 3
+//	4 — PR 4: MQPoint gains the topcache axis (true = lock-free top-word
+//	    reads, false = the locked-ReadMin ablation A5). The per-backing
+//	    within-envelope bests cover cached points only and gate against the
+//	    PR 3 committed per-backing speedups, replacing the single d-ary
+//	    gate; MQSummary records the locked-read bests alongside for the
+//	    cached-vs-locked comparison, and reports gain Validate/ValidateFile
+//	    so CI can round-trip them.
+const SchemaVersion = 4
 
 // Env captures the machine context a JSON report was produced on.
 type Env struct {
@@ -78,6 +87,11 @@ type MQPoint struct {
 	// 1.0 for the baseline itself.
 	Speedup float64     `json:"speedup_vs_baseline"`
 	Quality RankQuality `json:"quality"`
+	// TopCache reports which ReadMin path the point measured: true for the
+	// lock-free top-word cache (the production path), false for the
+	// locked-read ablation A5, where every d-choice comparison and empty
+	// probe takes the queue lock.
+	TopCache bool `json:"topcache"`
 	// AllocsPerOp is the single-threaded steady-state allocation count of one
 	// enqueue+dequeue pair at this (m, backing, stickiness, batch) setting —
 	// 0 for every heap-array backing once the handle buffers are warm.
@@ -104,16 +118,21 @@ type MQSummary struct {
 	// pipeline gates: the fast path must win without giving up the envelope.
 	MeetsTarget bool `json:"meets_1_5x_target_within_envelope"`
 	// BestWithinEnvelopeSpeedupByBacking is the per-backing within-envelope
-	// best at Threads >= GateThreads — the ablation-A4 comparison the d-ary
-	// gate reads.
+	// best at Threads >= GateThreads over topcache points only — the
+	// ablation-A4 comparison the committed-speedup gates read.
 	BestWithinEnvelopeSpeedupByBacking map[string]float64 `json:"best_within_envelope_speedup_by_backing,omitempty"`
-	// PR2Committed echoes the committed within-envelope speedup of the PR 2
-	// BENCH_multiqueue.json (binary backing, s=8, k=8) that the d-ary batched
-	// fast path must beat at the same settings and baseline.
-	PR2Committed float64 `json:"pr2_committed_within_envelope_speedup,omitempty"`
-	// DAryMeetsCommitted reports the d-ary gate: its within-envelope best is
-	// at least PR2Committed.
-	DAryMeetsCommitted bool `json:"dary_meets_pr2_committed"`
+	// LockedReadBestByBacking is the same statistic over the locked-ReadMin
+	// ablation points (topcache false) — the A5 cached-vs-locked comparison
+	// EXPERIMENTS.md tabulates. Only swept backings appear.
+	LockedReadBestByBacking map[string]float64 `json:"locked_read_best_within_envelope_speedup_by_backing,omitempty"`
+	// CommittedByBacking echoes the PR 3 committed per-backing
+	// within-envelope speedups (binary 1.80, dary 1.77 at s=8, k=8, m=128)
+	// that the cached read path must keep meeting.
+	CommittedByBacking map[string]float64 `json:"pr3_committed_within_envelope_by_backing,omitempty"`
+	// MeetsCommitted reports the top-cache gate: every backing listed in
+	// CommittedByBacking reached at least its committed within-envelope
+	// speedup on the cached path.
+	MeetsCommitted bool `json:"topcache_meets_pr3_committed"`
 }
 
 // MQReport is the BENCH_multiqueue.json schema.
@@ -194,13 +213,152 @@ type MCReport struct {
 // WriteFile marshals a report as indented JSON (with a trailing newline, so
 // the committed files stay diff-friendly) and writes it to path.
 func WriteFile(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := marshal(v)
 	if err != nil {
-		return fmt.Errorf("benchfmt: %w", err)
+		return err
 	}
-	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("benchfmt: %w", err)
+	}
+	return nil
+}
+
+// marshal renders a report in the canonical on-disk form WriteFile commits
+// and ValidateFile round-trips against.
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Bench names distinguishing the two report shapes in their "bench" field.
+const (
+	MQBench = "multiqueue-sticky-batched"
+	MCBench = "multicounter-sticky-batched"
+)
+
+// ValidateFile reads a BENCH_*.json, dispatches on its "bench" field,
+// strict-decodes it against the current schema (unknown fields are errors,
+// the schema number must match SchemaVersion), runs the structural checks
+// of ValidateMQ/ValidateMC, and finally re-marshals the decoded report and
+// compares it byte-for-byte with the file — so a report that silently lost
+// or drifted a field anywhere between the sweep and the commit fails in CI
+// instead of at analysis time. It returns the bench name for logging.
+func ValidateFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("benchfmt: %w", err)
+	}
+	var probe struct {
+		Bench  string `json:"bench"`
+		Schema int    `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if probe.Schema != SchemaVersion {
+		return probe.Bench, fmt.Errorf("benchfmt: %s: schema %d, want %d", path, probe.Schema, SchemaVersion)
+	}
+	var report any
+	switch probe.Bench {
+	case MQBench:
+		rep := new(MQReport)
+		if err := strictDecode(data, rep); err != nil {
+			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
+		}
+		if err := ValidateMQ(rep); err != nil {
+			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
+		}
+		report = rep
+	case MCBench:
+		rep := new(MCReport)
+		if err := strictDecode(data, rep); err != nil {
+			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
+		}
+		if err := ValidateMC(rep); err != nil {
+			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
+		}
+		report = rep
+	default:
+		return probe.Bench, fmt.Errorf("benchfmt: %s: unknown bench %q", path, probe.Bench)
+	}
+	remarshaled, err := marshal(report)
+	if err != nil {
+		return probe.Bench, err
+	}
+	if !bytes.Equal(data, remarshaled) {
+		return probe.Bench, fmt.Errorf("benchfmt: %s: round-trip drift — file bytes differ from the canonical re-marshal", path)
+	}
+	return probe.Bench, nil
+}
+
+// strictDecode unmarshals JSON rejecting unknown fields and trailing data.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("trailing data after the report object")
+	}
+	return nil
+}
+
+// ValidateMQ checks an MQReport's structural invariants: a populated sweep,
+// sane per-point fields, and a summary whose gate is computable.
+func ValidateMQ(r *MQReport) error {
+	if r.Bench != MQBench {
+		return fmt.Errorf("bench %q, want %q", r.Bench, MQBench)
+	}
+	if len(r.Points) == 0 {
+		return fmt.Errorf("no sweep points")
+	}
+	for i, pt := range r.Points {
+		if pt.Threads < 1 || pt.M < 1 || pt.Stickiness < 1 || pt.Batch < 1 {
+			return fmt.Errorf("point %d: non-positive grid coordinates %+v", i, pt)
+		}
+		if pt.Backing == "" {
+			return fmt.Errorf("point %d: missing backing label", i)
+		}
+		if pt.Seconds <= 0 || pt.Ops < 0 || pt.Mops < 0 || pt.Speedup < 0 {
+			return fmt.Errorf("point %d: implausible measurements (ops %d in %.3fs)", i, pt.Ops, pt.Seconds)
+		}
+	}
+	if r.Summary.GateThreads < 1 {
+		return fmt.Errorf("summary gate_threads %d", r.Summary.GateThreads)
+	}
+	return nil
+}
+
+// ValidateMC checks an MCReport's structural invariants; Summary may be nil
+// (points-only figure sweeps).
+func ValidateMC(r *MCReport) error {
+	if r.Bench != MCBench {
+		return fmt.Errorf("bench %q, want %q", r.Bench, MCBench)
+	}
+	if len(r.Points) == 0 {
+		return fmt.Errorf("no sweep points")
+	}
+	for i, pt := range r.Points {
+		switch pt.Variant {
+		case "exact-faa":
+		case "multicounter":
+			if pt.M < 1 || pt.Choices < 1 || pt.Stickiness < 1 || pt.Batch < 1 {
+				return fmt.Errorf("point %d: non-positive grid coordinates %+v", i, pt)
+			}
+		default:
+			return fmt.Errorf("point %d: unknown variant %q", i, pt.Variant)
+		}
+		if pt.Seconds <= 0 || pt.Ops < 0 || pt.Mops < 0 {
+			return fmt.Errorf("point %d: implausible measurements (ops %d in %.3fs)", i, pt.Ops, pt.Seconds)
+		}
+	}
+	if r.Summary != nil && r.Summary.GateThreads < 1 {
+		return fmt.Errorf("summary gate_threads %d", r.Summary.GateThreads)
 	}
 	return nil
 }

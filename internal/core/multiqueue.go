@@ -21,14 +21,15 @@ import (
 // states: analysis guarantees apply while no insertion carries a higher
 // priority than an element already removed.
 type MultiQueue struct {
-	qs      []*cpq.Queue
-	clk     clock.Clock
-	blk     blockClock // non-nil when clk supports block reservation
-	m       int
-	d       int
-	stick   int
-	batch   int
-	backing cpq.Backing
+	qs        []*cpq.Queue
+	clk       clock.Clock
+	blk       blockClock // non-nil when clk supports block reservation
+	m         int
+	d         int
+	stick     int
+	batch     int
+	backing   cpq.Backing
+	lockedTop bool
 }
 
 // blockClock is the optional fast path a clock can offer batched enqueuers:
@@ -79,6 +80,11 @@ type MultiQueueConfig struct {
 	// handles until the batch flushes (call MQHandle.Flush at quiescence);
 	// prefetched elements are already dequeued from the shared structure.
 	Batch int
+	// LockedTopRead disables the per-queue lock-free top cache (ablation
+	// A5): every ReadMin in the d-choice comparison and the empty-queue
+	// scan then takes the queue's lock and Peeks. Benchmarks use it to
+	// measure what the cached read path is worth; leave it false otherwise.
+	LockedTopRead bool
 }
 
 // NewMultiQueue returns a MultiQueue with the given configuration.
@@ -106,19 +112,21 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	}
 	sm := rng.NewSplitMix64(cfg.Seed)
 	mq := &MultiQueue{
-		qs:      make([]*cpq.Queue, cfg.Queues),
-		clk:     cfg.Clock,
-		m:       cfg.Queues,
-		d:       cfg.Choices,
-		stick:   cfg.Stickiness,
-		batch:   cfg.Batch,
-		backing: cfg.Backing,
+		qs:        make([]*cpq.Queue, cfg.Queues),
+		clk:       cfg.Clock,
+		m:         cfg.Queues,
+		d:         cfg.Choices,
+		stick:     cfg.Stickiness,
+		batch:     cfg.Batch,
+		backing:   cfg.Backing,
+		lockedTop: cfg.LockedTopRead,
 	}
 	if cfg.Batch > 1 {
 		mq.blk, _ = cfg.Clock.(blockClock)
 	}
 	for i := range mq.qs {
 		mq.qs[i] = cpq.New(cfg.Backing, cfg.Capacity, sm.Next())
+		mq.qs[i].SetLockedRead(cfg.LockedTopRead)
 	}
 	return mq
 }
@@ -134,6 +142,10 @@ func (q *MultiQueue) Batch() int { return q.batch }
 
 // Backing returns the configured per-queue sequential backing.
 func (q *MultiQueue) Backing() cpq.Backing { return q.backing }
+
+// LockedTopRead reports whether the lock-free top cache is disabled
+// (ablation A5).
+func (q *MultiQueue) LockedTopRead() bool { return q.lockedTop }
 
 // M returns the number of internal queues.
 func (q *MultiQueue) M() int { return q.m }
@@ -245,17 +257,22 @@ func (h *MQHandle) enqTarget(n int) int {
 }
 
 // deqBest picks the d-choice removal target: the sticky candidate set's
-// queue with the smallest cached top, re-read fresh on every call exactly as
-// Algorithm 2 compares possibly-stale heads. The caller charges the window
-// via deqCharge with the number of elements actually obtained; an empty or
-// contended outcome should call deqReroll so the next draw abandons a stale
-// candidate set early.
-func (h *MQHandle) deqBest() int {
-	return h.deq.Best(h.r, h.q.batch, h.readTop)
+// queue with the smallest cached top word, re-read fresh on every call
+// exactly as Algorithm 2 compares possibly-stale heads — one atomic load per
+// candidate, no locks. Queues whose word carries the mid-update sentinel
+// rank behind every real minimum (their lock would refuse a try anyway), and
+// stable-empty queues rank last; the winning key is returned alongside so
+// callers skip known-empty winners without re-reading the word. The caller
+// charges the window via deqCharge with the number of elements actually
+// obtained; an empty or contended outcome should call deqReroll so the next
+// draw abandons a stale candidate set early.
+func (h *MQHandle) deqBest() (int, uint64) {
+	return h.deq.BestKeyed(h.r, h.q.batch, h.readTop)
 }
 
-// readTop adapts cpq.ReadMin to the sampler's load signature.
-func (h *MQHandle) readTop(i int) uint64 { return h.q.qs[i].ReadMin() }
+// readTop adapts the cached top word's comparison key to the sampler's load
+// signature.
+func (h *MQHandle) readTop(i int) uint64 { return h.q.qs[i].ReadTop().Key() }
 
 // deqCharge consumes n logical operations from the sticky dequeue window.
 func (h *MQHandle) deqCharge(n int) { h.deq.Charge(n) }
@@ -312,13 +329,18 @@ func (h *MQHandle) EnqueuePriority(priority, value uint64) {
 }
 
 // Dequeue implements Algorithm 2's Dequeue, generalized to the configured
-// choice count: sample d random queues, compare their ReadMin priorities,
+// choice count: sample d random queues, compare their cached top words,
 // DeleteMin on the apparently smallest. As in the paper, the comparison uses
-// possibly stale information; the deletion itself is linearizable. If the
-// chosen queue turns out empty the operation retries, and after 2·m
-// fruitless draws it scans all queues once (flushing this handle's own
-// insert buffer first, so a single-handle drain never misses its buffered
-// elements); ok is false only when every queue was observed empty.
+// possibly stale information; the deletion itself is linearizable. A chosen
+// queue whose word is stable-empty is skipped without touching its lock —
+// the word's linearization argument (DESIGN.md §6) makes that observation as
+// good as a locked Peek. If the chosen queue turns out empty the operation
+// retries, and after 2·m fruitless draws it scans all queues once (flushing
+// this handle's own insert buffer first, so a single-handle drain never
+// misses its buffered elements); the scan likewise trusts stable-empty words
+// and locks only queues that might hold elements, so a drain of an
+// all-empty structure performs zero lock acquisitions; ok is false only when
+// every queue was observed empty.
 //
 // In batched mode the winner is drained with DeleteMinUpTo(Batch) and the
 // run beyond the first element is served from the handle's prefetch buffer
@@ -330,8 +352,11 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 		return it, true
 	}
 	for attempt := 0; attempt < 2*h.q.m; attempt++ {
-		if it, ok = h.deleteFrom(h.deqBest()); ok {
-			return it, true
+		i, key := h.deqBest()
+		if key != cpq.TopKeyEmpty {
+			if it, ok = h.deleteFrom(i); ok {
+				return it, true
+			}
 		}
 		h.deqReroll()
 	}
@@ -340,6 +365,9 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 	// drain must observe them.
 	h.Flush()
 	for i := 0; i < h.q.m; i++ {
+		if h.q.qs[i].ReadTop().StableEmpty() {
+			continue
+		}
 		if it, ok = h.deleteFrom(i); ok {
 			return it, true
 		}
@@ -385,12 +413,18 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 	}
 	for attempt := 0; attempt < 2*h.q.m; attempt++ {
 		best := h.r.Intn(h.q.m)
-		bestTop := h.q.qs[best].ReadMin()
+		bestTop := h.q.qs[best].ReadTop().Key()
 		for k := 1; k < d; k++ {
 			j := h.r.Intn(h.q.m)
-			if top := h.q.qs[j].ReadMin(); top < bestTop {
+			if top := h.q.qs[j].ReadTop().Key(); top < bestTop {
 				best, bestTop = j, top
 			}
+		}
+		if bestTop == cpq.TopKeyEmpty {
+			// The winning key already encodes stable-empty; skip without
+			// re-reading the word (a second load could disagree with the
+			// one the comparison ranked).
+			continue
 		}
 		if it, ok = h.q.qs[best].DeleteMin(); ok {
 			return it, true
@@ -398,6 +432,9 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 	}
 	h.Flush()
 	for i := 0; i < h.q.m; i++ {
+		if h.q.qs[i].ReadTop().StableEmpty() {
+			continue
+		}
 		if it, ok = h.q.qs[i].DeleteMin(); ok {
 			return it, true
 		}
@@ -406,15 +443,18 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 }
 
 // TryDequeue is the lock-avoiding variant used by throughput benchmarks:
-// it compares the d sampled ReadMin values and only try-locks the winner,
+// it compares the d sampled cached top words and only try-locks the winner,
 // re-drawing on contention instead of spinning. attempts bounds the number
 // of draws; ok is false if no element was obtained within the budget.
 // Nothing on this path ever blocks on a queue lock, so it routes around
-// dead or stalled lock holders in every mode. Like Dequeue, a batched
-// handle serves its prefetch buffer first, uses the sticky candidate set,
-// refills with a try-locked DeleteMinUpTo, and before giving up attempts a
-// non-blocking flush of its own insert buffer (TryAddBatch to random
-// queues) and retries the budget once.
+// dead or stalled lock holders in every mode. The comparison already ranks
+// mid-update queues behind real minima, and a winner whose word is
+// stable-empty is skipped before the try-lock — no CAS, no cache-line
+// bounce — so spinning over an empty structure costs only atomic loads.
+// Like Dequeue, a batched handle serves its prefetch buffer first, uses the
+// sticky candidate set, refills with a try-locked DeleteMinUpTo, and before
+// giving up attempts a non-blocking flush of its own insert buffer
+// (TryAddBatch to random queues) and retries the budget once.
 func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 	if h.outPos < len(h.outBuf) {
 		it = h.outBuf[h.outPos]
@@ -423,7 +463,11 @@ func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 	}
 	for pass := 0; pass < 2; pass++ {
 		for a := 0; a < attempts; a++ {
-			i := h.deqBest()
+			i, key := h.deqBest()
+			if key == cpq.TopKeyEmpty {
+				h.deqReroll()
+				continue
+			}
 			if h.q.batch <= 1 {
 				if it, okPop, acquired := h.q.qs[i].TryDeleteMin(); acquired && okPop {
 					h.deqCharge(1)

@@ -88,6 +88,23 @@ func (s *Sampler) Best(r *rng.Xoshiro256, need int, load func(int) uint64) int {
 	return best
 }
 
+// BestKeyed is Best returning the winning load value alongside the index,
+// saving callers a re-read when they dispatch on the observed value — the
+// MultiQueue skips stable-empty winners (cpq.TopKeyEmpty) without a second
+// atomic load of the winner's top word. Unlike Best, d = 1 performs its
+// single load too, since the caller consumes the value.
+func (s *Sampler) BestKeyed(r *rng.Xoshiro256, need int, load func(int) uint64) (best int, bestV uint64) {
+	cand := s.Candidates(r, need)
+	best = cand[0]
+	bestV = load(best)
+	for _, i := range cand[1:] {
+		if v := load(i); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
 // Charge consumes n logical operations from the stickiness window. Charging
 // per element (not per lock acquisition or flush) keeps the window — and so
 // the measured relaxation cost — comparable across batch sizes.

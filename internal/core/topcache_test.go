@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEmptyScanTakesNoLocks pins the tentpole's acceptance criterion: once a
+// MultiQueue is (observed) empty, Dequeue's d-choice comparison, its
+// fallback sweep, TryDequeue's whole budget and DequeueD must perform zero
+// lock acquisitions — they read cached top words only. The proof is by
+// construction: every internal queue's lock is held by a simulated crashed
+// holder (LockForTest takes the lock without marking the word mid-update,
+// exactly like a thread that died between acquiring and mutating), so any
+// lock acquisition on the scan path would block forever; and every word's
+// publication sequence is compared before/after, so any mutating critical
+// section would be counted. The watchdog converts a deadlock into a failure
+// instead of a test timeout.
+func TestEmptyScanTakesNoLocks(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		q := NewMultiQueue(MultiQueueConfig{Queues: 16, Seed: 3, Stickiness: 4, Batch: batch})
+		h := q.NewHandle(5)
+		// Give every word a non-trivial history, then drain to empty.
+		for i := 0; i < 256; i++ {
+			h.Enqueue(uint64(i))
+		}
+		h.Flush()
+		for {
+			if _, ok := h.Dequeue(); !ok {
+				break
+			}
+		}
+
+		seqs := make([]uint64, q.m)
+		for i, pq := range q.qs {
+			w := pq.ReadTop()
+			if !w.StableEmpty() {
+				t.Fatalf("batch=%d: queue %d word not stable-empty after drain", batch, i)
+			}
+			seqs[i] = w.Seq()
+		}
+		for i, pq := range q.qs {
+			if !pq.LockForTest() {
+				t.Fatalf("batch=%d: could not seize lock %d", batch, i)
+			}
+		}
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, ok := h.Dequeue(); ok {
+				t.Errorf("batch=%d: Dequeue found an element in an empty structure", batch)
+			}
+			if _, ok := h.TryDequeue(64); ok {
+				t.Errorf("batch=%d: TryDequeue found an element in an empty structure", batch)
+			}
+			if _, ok := h.DequeueD(2); ok {
+				t.Errorf("batch=%d: DequeueD found an element in an empty structure", batch)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("batch=%d: empty scan blocked on a held queue lock", batch)
+		}
+
+		for _, pq := range q.qs {
+			pq.UnlockForTest()
+		}
+		for i, pq := range q.qs {
+			if got := pq.ReadTop().Seq(); got != seqs[i] {
+				t.Fatalf("batch=%d: queue %d mutation counter moved %d -> %d during the empty scan",
+					batch, i, seqs[i], got)
+			}
+		}
+	}
+}
+
+// TestLockedTopReadAblation pins ablation A5's wiring: with LockedTopRead
+// the structure still works (elements round-trip) while every top read goes
+// through the lock — so the same all-locks-held construction that proves the
+// cached path lock-free would deadlock, which we avoid re-proving and
+// instead check the flag's visible behavior and accessor.
+func TestLockedTopReadAblation(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Queues: 4, Seed: 9, LockedTopRead: true})
+	if !q.LockedTopRead() {
+		t.Fatal("LockedTopRead accessor lost the flag")
+	}
+	h := q.NewHandle(1)
+	for i := 0; i < 100; i++ {
+		h.Enqueue(uint64(i))
+	}
+	seen := make(map[uint64]bool, 100)
+	for n := 0; n < 100; n++ {
+		it, ok := h.Dequeue()
+		if !ok {
+			t.Fatalf("drained only %d of 100", n)
+		}
+		if seen[it.Value] {
+			t.Fatalf("value %d dequeued twice", it.Value)
+		}
+		seen[it.Value] = true
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("extra element after full drain")
+	}
+}

@@ -4,17 +4,29 @@
 //
 // Each Queue is a sequential priority queue (binary heap, pairing heap,
 // skiplist, or cache-shaped 4-ary heap — selectable for ablation A4) guarded
-// by a cache-line padded spinlock, plus an atomically published cached copy
-// of the minimum priority. Backings that implement heap.BulkInterface get
-// their whole-batch entry points used by AddBatch/DeleteMinUpTo, so the
-// batched fast path's critical sections avoid per-element interface calls.
-// The cache is what makes the MultiQueue's two-choice comparison cheap:
-// a dequeuer inspects two queues' ReadMin values without taking either lock,
-// then locks only the winner. The cached top is updated inside the lock's
-// critical section before release, so any ReadMin value observed corresponds
-// to an actual minimum at some point during the last critical section —
-// exactly the "stale but previously true" information the paper's analysis
-// models.
+// by a cache-line padded spinlock, plus a lock-free top word: a single
+// atomic uint64 (pad.Seq64) packing the truncated minimum priority, an empty
+// bit and a publication sequence whose parity is the mid-update sentinel
+// (see TopWord). Backings that implement heap.BulkInterface get their
+// whole-batch entry points used by AddBatch/DeleteMinUpTo, so the batched
+// fast path's critical sections avoid per-element interface calls and hand
+// back the post-batch minimum the publish step needs.
+//
+// The top word is what makes the MultiQueue's d-choice comparison and its
+// empty-queue scan cheap: a dequeuer inspects d queues' cached tops with one
+// atomic load each — no lock, ever — then locks only the winner. A lock
+// holder about to change the published state marks the word mid-update on
+// entry (Seq64.Begin, retaining the stale payload) and republishes the
+// exact new minimum before release (Seq64.Publish); critical sections that
+// provably cannot change the word — an insert at or above the published
+// minimum of a non-empty queue, a delete on a published-empty queue — elide
+// the pair entirely, leaving the word exact without a single store. Either
+// way a stable word — even sequence — equals the queue's true minimum at
+// the instant of the load, and a mid-update word is the "stale but
+// previously true" information the paper's analysis models.
+// Readers that cannot use a possibly-stale answer (TryDequeue skipping
+// contended queues, the drain sweep trusting emptiness) dispatch on the
+// sentinel instead of taking the lock.
 package cpq
 
 import (
@@ -30,6 +42,100 @@ import (
 // greater than every real priority, so two-choice comparisons naturally
 // avoid empty queues.
 const EmptyTop = math.MaxUint64
+
+// Top-word encoding. The cached top is one pad.Seq64 word:
+//
+//	bits 63..16  prio48 — the minimum priority truncated to its low
+//	             TopPrioBits bits (exact for every priority below 2^48;
+//	             clock stamps reach 2^48 after ~2.8·10^14 enqueues)
+//	bit  15      empty  — set when the queue was empty at publication
+//	             (prio48 is all-ones then, so Key ordering needs no branch
+//	             on real priorities)
+//	bits 14..0   seq    — publication sequence; odd = mid-update sentinel
+//
+// The lock holder calls Begin at the top of every critical section that can
+// change the published state (sequence goes odd, payload keeps the last
+// published value) and Publish with the exact new minimum before release
+// (sequence goes even); sections that provably cannot change the word elide
+// both calls (see topCovers). Readers decode all of it from a single atomic
+// load via TopWord.
+const (
+	// TopPrioBits is the width of the truncated priority field: 64 bits
+	// minus the sequence field minus the empty bit.
+	TopPrioBits = 63 - pad.SeqBits
+	// TopPrioMask selects the priority bits a published word can carry;
+	// ReadMin returns priorities reduced to this mask.
+	TopPrioMask = 1<<TopPrioBits - 1
+	// TopKeyInFlight is the comparison key of a mid-update word: it loses to
+	// every real minimum, so d-choice comparisons skip queues whose lock
+	// holder is mid-mutation (their lock would refuse a try anyway).
+	TopKeyInFlight = 1 << TopPrioBits
+	// TopKeyEmpty is the comparison key of a stable empty word: it loses
+	// even to mid-update queues, which at least might hold elements.
+	TopKeyEmpty = 1<<TopPrioBits + 1
+)
+
+// topSeqMask selects the sequence field of a raw top word.
+const topSeqMask = 1<<pad.SeqBits - 1
+
+// topPayload packs (truncated minimum, empty bit) into a Seq64 payload.
+func topPayload(min uint64, empty bool) uint64 {
+	if empty {
+		return TopPrioMask<<1 | 1
+	}
+	return (min & TopPrioMask) << 1
+}
+
+// TopWord is a decoded view of a queue's cached top — the raw Seq64 word,
+// read with one atomic load and carrying everything the lock-free read paths
+// need: the truncated minimum, the empty bit and the mid-update sentinel.
+type TopWord uint64
+
+// InFlight reports the mid-update sentinel: a lock holder has entered a
+// mutating critical section and not yet republished. Min still returns the
+// last published (stale but previously true) value.
+func (w TopWord) InFlight() bool { return w&1 == 1 }
+
+// Empty reports the empty bit: the queue held nothing when the word was
+// published.
+func (w TopWord) Empty() bool { return w>>pad.SeqBits&1 == 1 }
+
+// StableEmpty reports a trustworthy emptiness observation: the word is not
+// mid-update and its empty bit is set, so the queue was truly empty at the
+// load's linearization point. The MultiQueue's drain sweep skips such queues
+// without touching their locks.
+func (w TopWord) StableEmpty() bool { return w&1 == 0 && w.Empty() }
+
+// Seq returns the word's publication sequence. It advances by exactly 2 per
+// word-changing critical section (modulo 2^pad.SeqBits; covered inserts and
+// empty deletes elide publication — see topCovers), which makes it a
+// publication counter the coherence tests read; an odd value is the
+// mid-update sentinel.
+func (w TopWord) Seq() uint64 { return uint64(w) & topSeqMask }
+
+// Min returns the cached minimum priority reduced to TopPrioMask (exact for
+// priorities below 2^TopPrioBits), or EmptyTop when the empty bit is set.
+// For a mid-update word this is the last published value.
+func (w TopWord) Min() uint64 {
+	if w.Empty() {
+		return EmptyTop
+	}
+	return uint64(w) >> (pad.SeqBits + 1)
+}
+
+// Key returns the d-choice comparison key: the truncated minimum for stable
+// non-empty words, TopKeyInFlight for mid-update words and TopKeyEmpty for
+// stable empty ones, so argmin over keys prefers real minima, then
+// possibly-full contended queues, then known-empty queues.
+func (w TopWord) Key() uint64 {
+	if w.InFlight() {
+		return TopKeyInFlight
+	}
+	if w.Empty() {
+		return TopKeyEmpty
+	}
+	return uint64(w) >> (pad.SeqBits + 1)
+}
 
 // Backing selects the sequential structure under each queue's lock.
 type Backing int
@@ -104,15 +210,28 @@ func (a slAdapter) Len() int { return a.l.Len() }
 
 // Queue is one linearizable priority queue. Create with New.
 type Queue struct {
-	top  pad.Uint64 // cached minimum priority, EmptyTop when empty
+	top  pad.Seq64 // lock-free top word; see the TopWord encoding
 	lock pad.SpinLock
 	pq   heap.Interface
 	// bulk is pq's optional batch extension, detected once at construction;
 	// nil for backings that only implement per-element operations. AddBatch
 	// and DeleteMinUpTo dispatch through it when present, keeping their
 	// critical sections monomorphic (one call per batch instead of one
-	// interface call per element).
+	// interface call per element) and returning the post-batch minimum the
+	// top-word publish consumes directly.
 	bulk heap.BulkInterface
+	// lockedRead disables the lock-free top cache for ablation A5: ReadMin
+	// and ReadTop then take the lock and Peek, measuring what every cached
+	// read would cost if it went through the critical section.
+	lockedRead bool
+	// pubMin/pubEmpty mirror the published word at full 64-bit resolution.
+	// They are lock-holder-owned plain fields (written only inside
+	// publishing critical sections, read only under the lock) and exist so
+	// the publication-elision check topCovers can compare full priorities —
+	// the truncated word alone cannot prove an insert harmless when
+	// priorities above 2^TopPrioBits are in play.
+	pubMin   uint64
+	pubEmpty bool
 }
 
 // New returns an empty queue with the given backing and capacity hint.
@@ -133,43 +252,136 @@ func New(backing Backing, capacity int, seed uint64) *Queue {
 		panic("cpq: unknown backing")
 	}
 	q.bulk, _ = q.pq.(heap.BulkInterface)
-	q.top.Store(EmptyTop)
+	q.top.Init(topPayload(0, true))
+	q.pubEmpty = true
 	return q
 }
 
-// publishTop refreshes the cached minimum; callers must hold the lock.
+// SetLockedRead switches the queue to locked top reads (ablation A5): every
+// ReadMin/ReadTop takes the lock and Peeks instead of loading the cached
+// word. Call before the queue is shared; the flag is not synchronized. The
+// mutating sections keep publishing the word either way, so flipping the
+// ablation does not desynchronize the cache.
+func (q *Queue) SetLockedRead(locked bool) { q.lockedRead = locked }
+
+// beginTop marks the top word mid-update; callers must hold the lock and be
+// about to change the published state. Readers that land between beginTop
+// and publishTop see the sentinel plus the last published minimum.
+func (q *Queue) beginTop() { q.top.Begin() }
+
+// topCovers reports whether the published top already covers an insert whose
+// minimum priority is p: the queue is non-empty with published minimum <= p,
+// so the insert cannot change the word's value or emptiness and the whole
+// Begin/Publish pair is elided — the stable word stays exact without a
+// single atomic store. Under the MultiQueue's monotone clock stamps nearly
+// every steady-state insert is covered, which makes the enqueue-side
+// critical section store-free. Callers must hold the lock; the comparison
+// uses the full-resolution mirror, so priorities beyond the word's truncated
+// field cannot fool it.
+func (q *Queue) topCovers(p uint64) bool { return !q.pubEmpty && p >= q.pubMin }
+
+// publishTop republishes the exact current minimum from a Peek; callers must
+// hold the lock. The per-element paths use it; the bulk paths publish the
+// minimum their batch call already reported via publishTopItem.
 func (q *Queue) publishTop() {
-	if it, ok := q.pq.Peek(); ok {
-		q.top.Store(it.Priority)
-	} else {
-		q.top.Store(EmptyTop)
+	it, ok := q.pq.Peek()
+	q.publishTopItem(it, ok)
+}
+
+// publishTopItem republishes the top word from an already-known minimum
+// (ok false meaning empty), maintaining the full-resolution mirror; callers
+// must hold the lock.
+func (q *Queue) publishTopItem(it heap.Item, ok bool) {
+	q.pubMin, q.pubEmpty = it.Priority, !ok
+	q.top.Publish(topPayload(it.Priority, !ok))
+}
+
+// addLocked inserts one item under the held lock with the publication
+// protocol applied: elided when the published top covers the priority,
+// Begin/Publish bracketing otherwise. The four insert entry points share it
+// so the elision rule lives in one place.
+func (q *Queue) addLocked(priority, value uint64) {
+	if q.topCovers(priority) {
+		q.pq.Push(heap.Item{Priority: priority, Value: value})
+		return
 	}
+	q.beginTop()
+	q.pq.Push(heap.Item{Priority: priority, Value: value})
+	q.publishTop()
+}
+
+// addBatchLocked inserts a non-empty batch under the held lock with the
+// publication protocol applied, dispatching through pushBatchLocked.
+func (q *Queue) addBatchLocked(items []heap.Item) {
+	if q.topCovers(batchMin(items)) {
+		q.pushBatchLocked(items)
+		return
+	}
+	q.beginTop()
+	min, ok := q.pushBatchLocked(items)
+	q.publishTopItem(min, ok)
+}
+
+// popLocked removes the minimum under the held lock with the publication
+// protocol applied: a published-empty queue elides the whole pair.
+func (q *Queue) popLocked() (heap.Item, bool) {
+	if q.pubEmpty {
+		return heap.Item{}, false
+	}
+	q.beginTop()
+	it, ok := q.pq.Pop()
+	q.publishTop()
+	return it, ok
+}
+
+// drainLocked removes up to k minima into dst under the held lock with the
+// publication protocol applied, dispatching through popUpToLocked.
+func (q *Queue) drainLocked(k int, dst []heap.Item) []heap.Item {
+	if q.pubEmpty {
+		return dst
+	}
+	q.beginTop()
+	dst, min, ok := q.popUpToLocked(k, dst)
+	q.publishTopItem(min, ok)
+	return dst
 }
 
 // Add inserts (priority, value), blocking on the queue's lock.
 func (q *Queue) Add(priority, value uint64) {
 	q.lock.Lock()
-	q.pq.Push(heap.Item{Priority: priority, Value: value})
-	q.publishTop()
+	q.addLocked(priority, value)
 	q.lock.Unlock()
 }
 
+// batchMin returns the smallest priority in a non-empty batch — the value
+// the publication-elision check compares against the published minimum.
+func batchMin(items []heap.Item) uint64 {
+	min := items[0].Priority
+	for _, it := range items[1:] {
+		if it.Priority < min {
+			min = it.Priority
+		}
+	}
+	return min
+}
+
 // pushBatchLocked inserts the batch through the backing's bulk entry point
-// when it has one, or per element otherwise; callers must hold the lock.
-func (q *Queue) pushBatchLocked(items []heap.Item) {
+// when it has one, or per element otherwise, and returns the post-batch
+// minimum; callers must hold the lock.
+func (q *Queue) pushBatchLocked(items []heap.Item) (heap.Item, bool) {
 	if q.bulk != nil {
-		q.bulk.PushBatch(items)
-		return
+		return q.bulk.PushBatch(items)
 	}
 	for _, it := range items {
 		q.pq.Push(it)
 	}
+	return q.pq.Peek()
 }
 
 // popUpToLocked drains up to k items into dst through the backing's bulk
-// entry point when it has one, or per element otherwise; callers must hold
-// the lock.
-func (q *Queue) popUpToLocked(k int, dst []heap.Item) []heap.Item {
+// entry point when it has one, or per element otherwise, and returns the
+// post-drain minimum; callers must hold the lock.
+func (q *Queue) popUpToLocked(k int, dst []heap.Item) ([]heap.Item, heap.Item, bool) {
 	if q.bulk != nil {
 		return q.bulk.PopBatch(k, dst)
 	}
@@ -180,7 +392,8 @@ func (q *Queue) popUpToLocked(k int, dst []heap.Item) []heap.Item {
 		}
 		dst = append(dst, it)
 	}
-	return dst
+	min, ok := q.pq.Peek()
+	return dst, min, ok
 }
 
 // AddBatch inserts all items under one lock acquisition with one cached-top
@@ -193,8 +406,7 @@ func (q *Queue) AddBatch(items []heap.Item) {
 		return
 	}
 	q.lock.Lock()
-	q.pushBatchLocked(items)
-	q.publishTop()
+	q.addBatchLocked(items)
 	q.lock.Unlock()
 }
 
@@ -208,8 +420,7 @@ func (q *Queue) TryAddBatch(items []heap.Item) bool {
 	if !q.lock.TryLock() {
 		return false
 	}
-	q.pushBatchLocked(items)
-	q.publishTop()
+	q.addBatchLocked(items)
 	q.lock.Unlock()
 	return true
 }
@@ -225,8 +436,7 @@ func (q *Queue) DeleteMinUpTo(k int, dst []heap.Item) []heap.Item {
 		return dst
 	}
 	q.lock.Lock()
-	dst = q.popUpToLocked(k, dst)
-	q.publishTop()
+	dst = q.drainLocked(k, dst)
 	q.lock.Unlock()
 	return dst
 }
@@ -243,8 +453,7 @@ func (q *Queue) TryDeleteMinUpTo(k int, dst []heap.Item) (out []heap.Item, acqui
 	if !q.lock.TryLock() {
 		return dst, false
 	}
-	dst = q.popUpToLocked(k, dst)
-	q.publishTop()
+	dst = q.drainLocked(k, dst)
 	q.lock.Unlock()
 	return dst, true
 }
@@ -256,8 +465,7 @@ func (q *Queue) TryAdd(priority, value uint64) bool {
 	if !q.lock.TryLock() {
 		return false
 	}
-	q.pq.Push(heap.Item{Priority: priority, Value: value})
-	q.publishTop()
+	q.addLocked(priority, value)
 	q.lock.Unlock()
 	return true
 }
@@ -266,8 +474,7 @@ func (q *Queue) TryAdd(priority, value uint64) bool {
 // ok is false when the queue is empty.
 func (q *Queue) DeleteMin() (it heap.Item, ok bool) {
 	q.lock.Lock()
-	it, ok = q.pq.Pop()
-	q.publishTop()
+	it, ok = q.popLocked()
 	q.lock.Unlock()
 	return it, ok
 }
@@ -279,16 +486,35 @@ func (q *Queue) TryDeleteMin() (it heap.Item, ok, acquired bool) {
 	if !q.lock.TryLock() {
 		return heap.Item{}, false, false
 	}
-	it, ok = q.pq.Pop()
-	q.publishTop()
+	it, ok = q.popLocked()
 	q.lock.Unlock()
 	return it, ok, true
 }
 
-// ReadMin returns the cached minimum priority without locking (EmptyTop when
-// the queue was last seen empty). This is Algorithm 2's ReadMin specialized
-// to the priority, which is all the two-choice comparison consumes.
-func (q *Queue) ReadMin() uint64 { return q.top.Load() }
+// ReadTop returns the queue's decoded top word from a single atomic load —
+// zero lock acquisitions, the steady-state read path of the MultiQueue's
+// d-choice comparison and empty-queue scan. A stable word (even sequence)
+// equals the queue's true state at the load's linearization point; a
+// mid-update word carries the sentinel plus the last published minimum.
+// Under SetLockedRead (ablation A5) it instead takes the lock and Peeks,
+// synthesizing an always-stable word.
+func (q *Queue) ReadTop() TopWord {
+	if q.lockedRead {
+		q.lock.Lock()
+		it, ok := q.pq.Peek()
+		q.lock.Unlock()
+		return TopWord(topPayload(it.Priority, !ok) << pad.SeqBits)
+	}
+	return TopWord(q.top.LoadWord())
+}
+
+// ReadMin returns the cached minimum priority without locking: the true
+// minimum reduced to TopPrioMask (exact for priorities below 2^TopPrioBits),
+// or EmptyTop when the queue was last seen empty. Mid-update words report
+// the last published value — the paper's stale-but-previously-true read.
+// This is Algorithm 2's ReadMin specialized to the priority, which is all
+// the two-choice comparison consumes.
+func (q *Queue) ReadMin() uint64 { return q.ReadTop().Min() }
 
 // PeekMin returns the current minimum item under the lock; ok is false when
 // empty. Used by tests and the exact-drain verifier, not by the hot path.

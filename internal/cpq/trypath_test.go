@@ -24,6 +24,7 @@ func TestTryPathsAgainstHeldLock(t *testing.T) {
 			if !q.LockForTest() {
 				t.Fatal("could not take test lock")
 			}
+			wordBefore := q.ReadTop()
 
 			if q.TryAdd(1, 10) {
 				t.Fatal("TryAdd succeeded against a held lock")
@@ -47,6 +48,13 @@ func TestTryPathsAgainstHeldLock(t *testing.T) {
 			}
 			if q.ReadMin() != 4 {
 				t.Fatalf("contended try-paths mutated the cached top: ReadMin=%d", q.ReadMin())
+			}
+			// Refused try-paths must not have touched the word at all: same
+			// minimum, same publication sequence, no stray sentinel. A held
+			// lock without mutating intent (a crashed holder) leaves the word
+			// stable — the property the MultiQueue's empty scan trusts.
+			if w := q.ReadTop(); w != wordBefore || w.InFlight() {
+				t.Fatalf("contended try-paths moved the top word: %#x -> %#x", uint64(wordBefore), uint64(w))
 			}
 
 			q.UnlockForTest()

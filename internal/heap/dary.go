@@ -80,28 +80,31 @@ func (h *DAry) Pop() (Item, bool) {
 // is O(k·log₄ n) touching only paths the batch actually dirtied. When the
 // batch rivals the existing heap (k ≥ n) per-path sifting approaches
 // O(n·log n) and PushBatch falls back to Floyd's heapify, which rebuilds the
-// whole array in O(n + k). An empty batch is a no-op.
-func (h *DAry) PushBatch(items []Item) {
+// whole array in O(n + k). The post-batch minimum is returned straight from
+// the root slot the sift pass left behind. An empty batch mutates nothing.
+func (h *DAry) PushBatch(items []Item) (Item, bool) {
 	if len(items) == 0 {
-		return
+		return h.Peek()
 	}
 	old := h.Len()
 	h.a = append(h.a, items...)
 	if len(items) >= old {
 		h.heapify()
-		return
+		return h.a[daryPad], true
 	}
 	for i := old; i < old+len(items); i++ {
 		h.up(i)
 	}
+	return h.a[daryPad], true
 }
 
 // PopBatch removes up to k minimum items, appending them to dst in ascending
-// priority order and returning the extended slice. It stops early when the
-// heap runs empty; k <= 0 returns dst unchanged. Unlike k calls through
-// Interface.Pop, the loop stays monomorphic — no interface dispatch per
-// element — which is what cpq.DeleteMinUpTo's critical section wants.
-func (h *DAry) PopBatch(k int, dst []Item) []Item {
+// priority order, and returns the extended slice plus the post-drain minimum.
+// It stops early when the heap runs empty; k <= 0 leaves dst unchanged.
+// Unlike k calls through Interface.Pop, the loop stays monomorphic — no
+// interface dispatch per element — which is what cpq.DeleteMinUpTo's critical
+// section wants.
+func (h *DAry) PopBatch(k int, dst []Item) ([]Item, Item, bool) {
 	for ; k > 0 && len(h.a) > daryPad; k-- {
 		dst = append(dst, h.a[daryPad])
 		last := len(h.a) - 1
@@ -111,7 +114,8 @@ func (h *DAry) PopBatch(k int, dst []Item) []Item {
 			h.sinkRoot(it)
 		}
 	}
-	return dst
+	min, ok := h.Peek()
+	return dst, min, ok
 }
 
 // Reset empties the heap, retaining capacity.

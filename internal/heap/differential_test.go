@@ -72,7 +72,10 @@ func applyDifferentialOps(t *testing.T, name string, h Interface, data []byte) {
 				ref.Push(p)
 			}
 			if hasBulk {
-				bulk.PushBatch(scratch)
+				min, ok := bulk.PushBatch(scratch)
+				if ok != (len(ref.a) > 0) || (ok && min.Priority != ref.a[0]) {
+					t.Fatalf("%s: op %d PushBatch min = (%d,%v), want (%v)", name, opIdx, min.Priority, ok, ref.a)
+				}
 			} else {
 				for _, it := range scratch {
 					h.Push(it)
@@ -81,7 +84,13 @@ func applyDifferentialOps(t *testing.T, name string, h Interface, data []byte) {
 		case 4: // batch pop, size 0..16
 			k := int(op / 5 % 17)
 			if hasBulk {
-				scratch = bulk.PopBatch(k, scratch[:0])
+				var min Item
+				var ok bool
+				scratch, min, ok = bulk.PopBatch(k, scratch[:0])
+				wantN := len(ref.a) - len(scratch)
+				if ok != (wantN > 0) || (ok && min.Priority != ref.a[len(scratch)]) {
+					t.Fatalf("%s: op %d PopBatch min = (%d,%v) with %d left", name, opIdx, min.Priority, ok, wantN)
+				}
 			} else {
 				scratch = scratch[:0]
 				for i := 0; i < k; i++ {
@@ -187,14 +196,22 @@ func TestPushBatchHeapifyThreshold(t *testing.T) {
 				batch = append(batch, Item{Priority: p})
 				want = append(want, p)
 			}
-			bin.PushBatch(batch)
-			dar.PushBatch(batch)
+			binMin, binOK := bin.PushBatch(batch)
+			darMin, darOK := dar.PushBatch(batch)
 			if !bin.Verify() || !dar.Verify() {
 				t.Fatalf("pre=%d k=%d: heap invariant violated after PushBatch", pre, k)
 			}
 			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
-			gotBin := bin.PopBatch(len(want)+1, nil)
-			gotDar := dar.PopBatch(len(want)+1, nil)
+			if wantOK := len(want) > 0; binOK != wantOK || darOK != wantOK ||
+				(wantOK && (binMin.Priority != want[0] || darMin.Priority != want[0])) {
+				t.Fatalf("pre=%d k=%d: PushBatch min binary=(%d,%v) dary=(%d,%v), want %v",
+					pre, k, binMin.Priority, binOK, darMin.Priority, darOK, want)
+			}
+			gotBin, _, binOK := bin.PopBatch(len(want)+1, nil)
+			gotDar, _, darOK := dar.PopBatch(len(want)+1, nil)
+			if binOK || darOK {
+				t.Fatalf("pre=%d k=%d: full drain still reports a minimum", pre, k)
+			}
 			for i, w := range want {
 				if gotBin[i].Priority != w || gotDar[i].Priority != w {
 					t.Fatalf("pre=%d k=%d: drain[%d] binary=%d dary=%d want %d",

@@ -38,16 +38,25 @@ type Interface interface {
 // AddBatch/DeleteMinUpTo through the bulk entry points when present, so
 // backings that cannot implement it (pairing heap, skiplist) keep working
 // through the per-element loop unchanged.
+//
+// Both batch operations report the post-batch minimum, so a caller that
+// publishes a cached top (cpq's lock-free top word) gets it for free from
+// the slot the batch pass already touched instead of paying one more
+// interface dispatch for a trailing Peek inside its critical section.
 type BulkInterface interface {
 	Interface
 	// PushBatch inserts every item of the batch, amortising invariant
 	// maintenance over the whole batch (see DAry.PushBatch for the cost
-	// model). An empty batch is a no-op.
-	PushBatch(items []Item)
+	// model), and returns the post-batch minimum (ok false only when the
+	// heap is empty, i.e. an empty batch into an empty heap). An empty
+	// batch mutates nothing.
+	PushBatch(items []Item) (min Item, ok bool)
 	// PopBatch removes up to k minimum items, appending them to dst in
-	// ascending priority order and returning the extended slice; it stops
-	// early when the heap runs empty and returns dst unchanged for k <= 0.
-	PopBatch(k int, dst []Item) []Item
+	// ascending priority order, and returns the extended slice plus the
+	// post-drain minimum (ok false when the drain emptied the heap); it
+	// stops early when the heap runs empty and leaves dst unchanged for
+	// k <= 0.
+	PopBatch(k int, dst []Item) (out []Item, min Item, ok bool)
 }
 
 // Binary is an array-backed binary min-heap. The zero value is an empty
@@ -98,11 +107,12 @@ func (h *Binary) Reset() { h.a = h.a[:0] }
 
 // PushBatch appends all items, then sifts each appended slot up its ancestor
 // path — O(k·log n) over only the paths the batch dirtied — falling back to
-// Floyd's O(n + k) heapify when the batch rivals the existing heap. It is
-// Binary's BulkInterface entry point; see DAry.PushBatch for the cost model.
-func (h *Binary) PushBatch(items []Item) {
+// Floyd's O(n + k) heapify when the batch rivals the existing heap, and
+// returns the post-batch minimum. It is Binary's BulkInterface entry point;
+// see DAry.PushBatch for the cost model.
+func (h *Binary) PushBatch(items []Item) (Item, bool) {
 	if len(items) == 0 {
-		return
+		return h.Peek()
 	}
 	old := len(h.a)
 	h.a = append(h.a, items...)
@@ -110,18 +120,19 @@ func (h *Binary) PushBatch(items []Item) {
 		for i := len(h.a)/2 - 1; i >= 0; i-- {
 			h.down(i)
 		}
-		return
+		return h.a[0], true
 	}
 	for i := old; i < len(h.a); i++ {
 		h.up(i)
 	}
+	return h.a[0], true
 }
 
 // PopBatch removes up to k minimum items, appending them to dst in ascending
-// priority order and returning the extended slice, with no per-element
-// interface dispatch. It stops early when the heap runs empty; k <= 0
-// returns dst unchanged.
-func (h *Binary) PopBatch(k int, dst []Item) []Item {
+// priority order and returning the extended slice plus the post-drain
+// minimum, with no per-element interface dispatch. It stops early when the
+// heap runs empty; k <= 0 leaves dst unchanged.
+func (h *Binary) PopBatch(k int, dst []Item) ([]Item, Item, bool) {
 	for ; k > 0 && len(h.a) > 0; k-- {
 		dst = append(dst, h.a[0])
 		last := len(h.a) - 1
@@ -131,7 +142,8 @@ func (h *Binary) PopBatch(k int, dst []Item) []Item {
 			h.down(0)
 		}
 	}
-	return dst
+	min, ok := h.Peek()
+	return dst, min, ok
 }
 
 func (h *Binary) up(i int) {

@@ -69,6 +69,84 @@ func (p *Bool) Store(x bool) { p.v.Store(x) }
 // CompareAndSwap executes the CAS and reports whether it succeeded.
 func (p *Bool) CompareAndSwap(old, new bool) bool { return p.v.CompareAndSwap(old, new) }
 
+// SeqBits is the width of the Seq64 sequence field. The remaining
+// 64 − SeqBits high bits carry the payload.
+const SeqBits = 15
+
+// seqMask selects the Seq64 sequence field.
+const seqMask = 1<<SeqBits - 1
+
+// Seq64 is a cache-line padded single-word seqlock: one atomic uint64 whose
+// high 64−SeqBits bits carry a published payload and whose low SeqBits bits
+// carry a publication sequence number. An odd sequence marks the payload as
+// mid-update — the writer has entered a mutating section and will republish —
+// while the payload bits retain the last published (stale but previously
+// true) value, so readers always get something usable from a single load.
+//
+// The writer side is not itself synchronized: exactly one writer at a time
+// may call Begin/Publish, which in this repository means the holder of the
+// cell's guarding lock. Readers need no synchronization at all — Load is one
+// atomic load, and the sequence parity tells them whether the payload is
+// stable or in-flight. This is the seqlock discipline collapsed into a single
+// word: because payload and sequence share one atomic, readers never need the
+// classic read-seq/read-data/re-read-seq dance, and a torn read is
+// impossible.
+//
+// The zero value is stable (sequence 0) with payload 0.
+type Seq64 struct {
+	w atomic.Uint64
+	// shadow mirrors w for the exclusive writer, so Begin/Publish assemble
+	// the next word from a private plain field instead of atomically
+	// re-loading a cache line that readers keep in Shared state. Only the
+	// writer side (Init/Begin/Publish, under the guarding lock) touches it.
+	shadow uint64
+	_      [CacheLine - 16]byte
+}
+
+// Load returns the current payload and whether the word is mid-update (the
+// sequence is odd). A mid-update payload is the last published value, not
+// garbage.
+func (s *Seq64) Load() (payload uint64, inflight bool) {
+	w := s.w.Load()
+	return w >> SeqBits, w&1 == 1
+}
+
+// LoadWord returns the raw word (payload and sequence packed) with one atomic
+// load, for callers that decode the fields themselves.
+func (s *Seq64) LoadWord() uint64 { return s.w.Load() }
+
+// Seq returns the current sequence number. It advances by exactly 2 per
+// Begin/Publish pair (modulo 2^SeqBits), so tests can use it as a mutation
+// counter; an odd value means a writer is mid-update.
+func (s *Seq64) Seq() uint64 { return s.w.Load() & seqMask }
+
+// Init stores payload with a stable (even, zeroed) sequence. Call before the
+// cell is shared; it is not safe against concurrent Begin/Publish.
+func (s *Seq64) Init(payload uint64) {
+	s.shadow = payload << SeqBits
+	s.w.Store(s.shadow)
+}
+
+// Begin marks the word mid-update: the sequence becomes odd while the payload
+// bits keep the last published value. Only the exclusive writer (the guarding
+// lock's holder) may call it, at the top of a mutating section; calling Begin
+// twice without an intervening Publish leaves the word mid-update and is
+// harmless.
+func (s *Seq64) Begin() {
+	s.shadow |= 1
+	s.w.Store(s.shadow)
+}
+
+// Publish installs a new payload and returns the word to stable: the
+// sequence becomes the next even value, whether or not Begin was called.
+// Only the exclusive writer may call it, at the end of a mutating section
+// before releasing the guarding lock.
+func (s *Seq64) Publish(payload uint64) {
+	seq := ((s.shadow | 1) + 1) & seqMask
+	s.shadow = payload<<SeqBits | seq
+	s.w.Store(s.shadow)
+}
+
 // SpinLock is a cache-line padded test-and-test-and-set spinlock with
 // adaptive spin-then-yield backoff (see Backoff). MultiQueue priority
 // queues use TryLock so that a

@@ -20,6 +20,9 @@ func TestPaddedSizes(t *testing.T) {
 	if s := unsafe.Sizeof(SpinLock{}); s != CacheLine {
 		t.Fatalf("SpinLock size %d, want %d", s, CacheLine)
 	}
+	if s := unsafe.Sizeof(Seq64{}); s != CacheLine {
+		t.Fatalf("Seq64 size %d, want %d", s, CacheLine)
+	}
 }
 
 func TestUint64Ops(t *testing.T) {
@@ -84,6 +87,102 @@ func TestUint64ConcurrentAdd(t *testing.T) {
 	if u.Load() != workers*perWorker {
 		t.Fatalf("lost updates: %d != %d", u.Load(), workers*perWorker)
 	}
+}
+
+func TestSeq64Protocol(t *testing.T) {
+	var s Seq64
+	if p, inflight := s.Load(); p != 0 || inflight {
+		t.Fatalf("zero value = (%d, %v), want stable 0", p, inflight)
+	}
+	s.Init(42)
+	if p, inflight := s.Load(); p != 42 || inflight {
+		t.Fatalf("after Init = (%d, %v), want stable 42", p, inflight)
+	}
+	if s.Seq() != 0 {
+		t.Fatalf("Init left seq %d, want 0", s.Seq())
+	}
+	s.Begin()
+	if p, inflight := s.Load(); p != 42 || !inflight {
+		t.Fatalf("after Begin = (%d, %v), want in-flight 42 (stale payload retained)", p, inflight)
+	}
+	s.Begin() // double Begin is harmless: still mid-update, payload intact
+	if p, inflight := s.Load(); p != 42 || !inflight {
+		t.Fatalf("after double Begin = (%d, %v)", p, inflight)
+	}
+	s.Publish(7)
+	if p, inflight := s.Load(); p != 7 || inflight {
+		t.Fatalf("after Publish = (%d, %v), want stable 7", p, inflight)
+	}
+	if s.Seq() != 2 {
+		t.Fatalf("one Begin/Publish pair advanced seq to %d, want 2", s.Seq())
+	}
+	// Publish without Begin still lands on an even sequence.
+	s.Publish(9)
+	if p, inflight := s.Load(); p != 9 || inflight {
+		t.Fatalf("Publish without Begin = (%d, %v), want stable 9", p, inflight)
+	}
+	if s.Seq() != 4 {
+		t.Fatalf("seq = %d, want 4", s.Seq())
+	}
+}
+
+func TestSeq64PayloadWidthAndWrap(t *testing.T) {
+	var s Seq64
+	// The full 49-bit payload round-trips.
+	max := uint64(1)<<(64-SeqBits) - 1
+	s.Publish(max)
+	if p, _ := s.Load(); p != max {
+		t.Fatalf("payload %d round-tripped as %d", max, p)
+	}
+	// The sequence wraps inside its field without corrupting the payload.
+	for i := 0; i < (1<<SeqBits)/2+3; i++ {
+		s.Begin()
+		s.Publish(max)
+	}
+	if p, inflight := s.Load(); p != max || inflight {
+		t.Fatalf("after wrap = (%d, %v), want stable %d", p, inflight, max)
+	}
+	if s.Seq()&1 != 0 {
+		t.Fatalf("wrapped seq %d is odd", s.Seq())
+	}
+}
+
+// TestSeq64ReadersNeverTear hammers a Seq64 with one writer republishing a
+// recognizable payload and many readers: a reader must only ever observe
+// published payloads (never a mixture), and an in-flight load must still
+// carry the previous payload.
+func TestSeq64ReadersNeverTear(t *testing.T) {
+	var s Seq64
+	const readers = 4
+	const rounds = 20000
+	s.Init(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, _ := s.Load()
+				// Payloads are always odd numbers; an even observation is a
+				// torn or invented value.
+				if p%2 == 0 {
+					panic("torn payload")
+				}
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		s.Begin()
+		s.Publish(uint64(2*i + 3))
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestSpinLockMutualExclusion(t *testing.T) {
