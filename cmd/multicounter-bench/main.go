@@ -2,7 +2,7 @@
 // MultiCounter under contention, as a function of the number of threads,
 // against the exact fetch-and-increment baseline, for the counter sizes
 // m ∈ {mfactor, 2·mfactor, 4·mfactor} × threads — and, beyond the paper, for
-// any amortised (choices, stickiness, batch) setting.
+// any amortised (choices, stickiness, batch, affinity) setting.
 //
 // It accepts the same flag names as cmd/benchall (-dur, -maxthreads,
 // -mfactor, -out, -seed) so the two drivers cannot drift apart again; -json
@@ -13,7 +13,7 @@
 // Usage:
 //
 //	multicounter-bench [-dur 500ms] [-maxthreads 8] [-mfactor 4]
-//	                   [-choices 2] [-stickiness 1] [-batch 1]
+//	                   [-choices 2] [-stickiness 1] [-batch 1] [-affinity 0]
 //	                   [-csv|-json] [-out .] [-seed 5]
 //
 // Table output is one row per (threads, variant): millions of increments per
@@ -42,6 +42,7 @@ func main() {
 	choices := flag.Int("choices", 2, "random choices d per increment")
 	stickiness := flag.Int("stickiness", 1, "operation stickiness window s")
 	batch := flag.Int("batch", 1, "increments buffered per shared publish k")
+	affinity := flag.Float64("affinity", 0, "shard-affinity fraction in [0,1] (0 = uniform choices)")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
 	jsonOut := flag.Bool("json", false, "write BENCH_multicounter_fig1a.json points to -out instead of a table")
 	out := flag.String("out", ".", "directory for the JSON report (with -json)")
@@ -50,6 +51,10 @@ func main() {
 
 	if *mfactor < 1 || *choices < 1 || *maxThreads < 1 {
 		fmt.Fprintln(os.Stderr, "multicounter-bench: -mfactor, -choices and -maxthreads must be >= 1")
+		os.Exit(2)
+	}
+	if !(*affinity >= 0 && *affinity <= 1) { // rejects NaN too
+		fmt.Fprintln(os.Stderr, "multicounter-bench: -affinity must be in [0, 1]")
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "multicounter-bench: emitting benchfmt schema v%d\n", benchfmt.SchemaVersion)
@@ -81,6 +86,7 @@ func main() {
 			m := mf * threads
 			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
 				Counters: m, Choices: *choices, Stickiness: *stickiness, Batch: *batch,
+				Affinity: *affinity,
 			})
 			ops, elapsed := harness.RunTimed(threads, *dur, func(id int, stop *atomic.Bool) int64 {
 				h := mc.NewHandle(*seed + uint64(id) + 1)
@@ -91,12 +97,13 @@ func main() {
 				}
 				return n
 			})
-			tb.Add(threads, fmt.Sprintf("multicounter[C=%d,d=%d,s=%d,k=%d]", mf, *choices, *stickiness, *batch),
+			tb.Add(threads, fmt.Sprintf("multicounter[C=%d,d=%d,s=%d,k=%d,a=%v]", mf, *choices, *stickiness, *batch, *affinity),
 				stats.Throughput(ops, elapsed.Seconds()), mc.Gap())
 			rep.Points = append(rep.Points, benchfmt.MCPoint{
 				Threads: threads, Variant: "multicounter", M: m,
 				Choices: mc.Choices(), Stickiness: mc.Stickiness(), Batch: mc.Batch(),
-				Ops: ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
+				Affinity: mc.Affinity(),
+				Ops:      ops, Seconds: elapsed.Seconds(), Mops: stats.Throughput(ops, elapsed.Seconds()),
 			})
 		}
 	}

@@ -6,11 +6,19 @@
 // Theorem 6.1 (the same audit cmd/benchall attaches per sweep point).
 //
 // With -queue it instead measures the MultiQueue's dequeue rank-error
-// distribution for a configurable (choices, stickiness, batch) setting
-// against the O(m·log m) envelope of Theorem 7.1 — the quality
+// distribution for a configurable (choices, stickiness, batch, affinity)
+// setting against the O(m·log m) envelope of Theorem 7.1 — the quality
 // re-verification that must accompany any fast-path change (the
 // sticky/batched mode trades quality for throughput, and this is where the
 // trade is audited).
+//
+// -affinity (both modes) sets the shard-affine sticky sampler's stripe
+// fraction (DESIGN.md §7). Any -affinity > 0 run measures the uniform
+// (affinity 0) twin of the same setting alongside and closes with the
+// drift ratio — measured quality cost of stripe-local choices over the
+// uniform sampler — scored against the 1.5x drift budget the benchall
+// affine gate enforces (exit non-zero beyond it, like the envelope
+// verdict).
 //
 // The paper measures quality single-threaded because "it is not clear how to
 // order the concurrent read steps"; the dlcheck tool provides the concurrent
@@ -21,8 +29,8 @@
 //
 // Usage:
 //
-//	quality [-m 64] [-incs 1000000] [-samples 50] [-choices 2] [-stickiness 1] [-batch 1] [-csv]
-//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-backing binary] [-lockedtop] [-csv]
+//	quality [-m 64] [-incs 1000000] [-samples 50] [-choices 2] [-stickiness 1] [-batch 1] [-affinity 0] [-csv]
+//	quality -queue [-m 64] [-ops 200000] [-choices 2] [-stickiness 8] [-batch 8] [-affinity 0] [-backing binary] [-lockedtop] [-csv]
 //
 // -lockedtop (with -queue) disables the lock-free top-word cache (ablation
 // A5), so the rank-error audit measures the locked-ReadMin configuration the
@@ -36,6 +44,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/cpq"
 	"repro/internal/dlin"
@@ -52,6 +61,7 @@ func main() {
 	choices := flag.Int("choices", 2, "random choices d per increment (or dequeue with -queue)")
 	stickiness := flag.Int("stickiness", 1, "operation stickiness window")
 	batch := flag.Int("batch", 1, "batching factor")
+	affinity := flag.Float64("affinity", 0, "shard-affinity fraction in [0,1]; > 0 also measures the uniform twin and reports the drift ratio")
 	backingName := flag.String("backing", "binary", "per-queue backing for -queue: binary, pairing, skiplist or dary")
 	lockedTop := flag.Bool("lockedtop", false, "disable the lock-free top cache for -queue (ablation A5: ReadMin through the lock)")
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
@@ -70,6 +80,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quality: -stickiness and -batch must be >= 0")
 		os.Exit(2)
 	}
+	if !(*affinity >= 0 && *affinity <= 1) { // rejects NaN too
+		fmt.Fprintln(os.Stderr, "quality: -affinity must be in [0, 1]")
+		os.Exit(2)
+	}
 	if *queue {
 		if *ops < 1 {
 			fmt.Fprintln(os.Stderr, "quality: -ops must be >= 1")
@@ -80,7 +94,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "quality: %v\n", err)
 			os.Exit(2)
 		}
-		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, backing, *lockedTop, *seed, *csv) {
+		if !runQueueQuality(*m, *ops, *choices, *stickiness, *batch, *affinity, backing, *lockedTop, *seed, *csv) {
 			os.Exit(1)
 		}
 		return
@@ -90,9 +104,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quality: -incs and -samples must be >= 1")
 		os.Exit(2)
 	}
-	if !runCounterQuality(*m, *incs, *samples, *choices, *stickiness, *batch, *seed, *csv) {
+	if !runCounterQuality(*m, *incs, *samples, *choices, *stickiness, *batch, *affinity, *seed, *csv) {
 		os.Exit(1)
 	}
+}
+
+// driftVerdict scores an affine measurement against its uniform twin
+// through the shared benchfmt.DriftRatio rule on BOTH the mean and the max
+// statistic (each ratio within benchfmt.AffineDriftLimit; a zero uniform
+// value passes vacuously, with the affine mean still bound by its own
+// envelope audit) — the same quality conditions the benchall affine gate
+// applies, so the two audits can never disagree on the same measurement.
+// The gate's third condition, the throughput match, has no single-threaded
+// counterpart here: quality audits quality.
+func driftVerdict(what string, affineMean, uniformMean, affineMax, uniformMax, envelope float64, affineWithin bool) bool {
+	meanRatio, meanOK := benchfmt.DriftRatio(affineMean, uniformMean)
+	maxRatio, maxOK := benchfmt.DriftRatio(affineMax, uniformMax)
+	within := affineWithin && meanOK && maxOK
+	verdict := "PASS"
+	if !within {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "affine-drift-vs-uniform: %s (%s mean affine %.2f vs uniform %.2f ratio %.2fx, max affine %.0f vs uniform %.0f ratio %.2fx, limit %.1fx, envelope %.0f)\n",
+		verdict, what, affineMean, uniformMean, meanRatio,
+		affineMax, uniformMax, maxRatio, benchfmt.AffineDriftLimit, envelope)
+	return within
 }
 
 // runCounterQuality drives a single-threaded MultiCounter handle (with the
@@ -103,13 +139,13 @@ func main() {
 // deviation. The verdict goes to stderr so the table — a purely numeric
 // time series — stays machine-parseable under -csv. Reports whether the
 // mean stayed inside the envelope.
-func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch int, seed uint64, csv bool) bool {
+func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch int, affinity float64, seed uint64, csv bool) bool {
 	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
-		Counters: m, Choices: choices, Stickiness: stickiness, Batch: batch,
+		Counters: m, Choices: choices, Stickiness: stickiness, Batch: batch, Affinity: affinity,
 	})
 	tb := harness.NewTable(
-		fmt.Sprintf("Figure 1(b): MultiCounter quality (single thread, m=%d, d=%d, s=%d, k=%d)",
-			m, mc.Choices(), mc.Stickiness(), mc.Batch()),
+		fmt.Sprintf("Figure 1(b): MultiCounter quality (single thread, m=%d, d=%d, s=%d, k=%d, a=%v)",
+			m, mc.Choices(), mc.Stickiness(), mc.Batch(), mc.Affinity()),
 		"increments", "read-value", "abs-error", "max-gap", "envelope(m log m)")
 	envelope := dlin.Envelope(m)
 	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed), int(incs), int(samples),
@@ -128,6 +164,17 @@ func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch in
 	}
 	fmt.Fprintf(os.Stderr, "mean-within-envelope: %s (mean %.2f, max %d, max-gap %d, envelope %.0f)\n",
 		verdict, dev.MeanAbsError, dev.MaxAbsError, dev.MaxGap, envelope)
+	if affinity > 0 {
+		// Measure the uniform twin of the same setting and report the
+		// deviation drift the stripe policy costs — the counter side of the
+		// benchall affine gate, reproduced interactively.
+		uniMC := core.NewMultiCounterConfig(core.MultiCounterConfig{
+			Counters: m, Choices: choices, Stickiness: stickiness, Batch: batch,
+		})
+		uni := quality.MeasureCounterDeviation(uniMC.NewHandle(seed), int(incs), int(samples), nil)
+		within = driftVerdict("dev", dev.MeanAbsError, uni.MeanAbsError,
+			float64(dev.MaxAbsError), float64(uni.MaxAbsError), envelope, within)
+	}
 	return within
 }
 
@@ -137,10 +184,10 @@ func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch in
 // logically enqueued labels, exactly like the dlin queue-spec replay. It
 // reports the distribution against Theorem 7.1's scales and returns whether
 // the measured mean lies inside the O(m·log m) envelope.
-func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing, lockedTop bool, seed uint64, csv bool) bool {
+func runQueueQuality(m, ops, choices, stickiness, batch int, affinity float64, backing cpq.Backing, lockedTop bool, seed uint64, csv bool) bool {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
 		Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
-		Backing: backing, LockedTopRead: lockedTop,
+		Affinity: affinity, Backing: backing, LockedTopRead: lockedTop,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
 	envelope := dlin.Envelope(m)
@@ -157,8 +204,8 @@ func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing
 		top = "lockedtop"
 	}
 	tb := harness.NewTable(
-		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, backing=%s, %s, single thread)",
-			m, q.Choices(), q.Stickiness(), q.Batch(), q.Backing(), top),
+		fmt.Sprintf("MultiQueue dequeue rank error (m=%d, d=%d, stickiness=%d, batch=%d, affinity=%v, backing=%s, %s, single thread)",
+			m, q.Choices(), q.Stickiness(), q.Batch(), q.Affinity(), q.Backing(), top),
 		"metric", "value", "theory-scale")
 	tb.Add("mean", mean, fmt.Sprintf("O(m)=%d", m))
 	tb.Add("p50", sample.Quantile(0.5), "")
@@ -170,6 +217,17 @@ func runQueueQuality(m, ops, choices, stickiness, batch int, backing cpq.Backing
 		tb.WriteCSV(os.Stdout)
 	} else {
 		tb.WriteMarkdown(os.Stdout)
+	}
+	if affinity > 0 {
+		// Measure the uniform twin of the same setting and report the rank
+		// drift the stripe policy costs — the queue side of the benchall
+		// affine gate, reproduced interactively.
+		uniQ := core.NewMultiQueue(core.MultiQueueConfig{
+			Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
+			Backing: backing, LockedTopRead: lockedTop,
+		})
+		uni := quality.MeasureDequeueRank(uniQ.NewHandle(seed+1), 64*m, ops)
+		within = driftVerdict("rank", mean, uni.Mean(), sample.Max(), uni.Max(), envelope, within)
 	}
 	return within
 }

@@ -21,11 +21,13 @@
 //     dequeue to d choices, and Stickiness and Batch enable the
 //     sticky/batched fast path: a handle re-uses its random queue choices
 //     for Stickiness consecutive operations and moves elements in and out in
-//     batches of Batch with one lock acquisition per batch. Batched handles
+//     batches of Batch with one lock acquisition per batch. Affinity biases
+//     each handle's dequeue choices toward a per-handle home stripe of
+//     queues for cache/NUMA locality (0 = uniform). Batched handles
 //     must call MQHandle.Flush before quiescent audits (Len, Sizes,
 //     cross-handle drains); cmd/quality -queue re-measures the rank-error
-//     distribution for any (Choices, Stickiness, Batch) setting against the
-//     O(m·log m) envelope.
+//     distribution for any (Choices, Stickiness, Batch, Affinity) setting
+//     against the O(m·log m) envelope.
 //   - Timestamps — a relaxed timestamp oracle built on the MultiCounter,
 //     the drop-in replacement for fetch-and-add global clocks evaluated on
 //     TL2 in the paper's Section 8 (see repro/internal/stm for the STM).
@@ -121,6 +123,14 @@ var WithStickiness = core.WithStickiness
 // WithBatch sets the number of increments a handle buffers per shared atomic
 // publish (default 1: per-operation publishing).
 var WithBatch = core.WithBatch
+
+// WithAffinity sets the shard-affinity fraction a ∈ [0, 1]: each handle's
+// sticky d-choice sampler draws d−1 candidates from its own home stripe of
+// max(d, ⌈a·m⌉) contiguous shards (plus one uniform escape candidate), so
+// repeated choices stay on warm cache/NUMA-local lines. Default 0: uniform
+// choices, the paper's assumption. The MultiQueue counterpart is
+// MultiQueueConfig.Affinity.
+var WithAffinity = core.WithAffinity
 
 // NewMultiQueue returns a MultiQueue with the given configuration.
 func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue { return core.NewMultiQueue(cfg) }

@@ -40,7 +40,45 @@ import (
 //	    gate; MQSummary records the locked-read bests alongside for the
 //	    cached-vs-locked comparison, and reports gain Validate/ValidateFile
 //	    so CI can round-trip them.
-const SchemaVersion = 4
+//	5 — PR 5: both point types gain the affinity axis (the shard-affine
+//	    sticky sampler's stripe fraction; 0 = uniform, the paper's
+//	    assumption), RankQuality gains rank_error_max, and both summaries
+//	    gain the affine-vs-uniform gate: the best Affinity > 0 point at the
+//	    headline (s=8, k=8) setting must match the uniform counterpart's
+//	    throughput (within the AffineMatchTolerance measurement band) while
+//	    its measured mean AND max quality drift ratios stay within
+//	    AffineDriftLimit (affine_drift_ratio / affine_max_drift_ratio).
+const SchemaVersion = 5
+
+// AffineMatchTolerance is the fraction of the uniform counterpart's speedup
+// an affine point must reach for the affine-vs-uniform gate ("matches or
+// beats, modulo shared-host measurement noise"): best-of-reps still leaves a
+// few percent of flap between two equal configurations on a loaded machine.
+const AffineMatchTolerance = 0.95
+
+// AffineDriftLimit bounds the quality drift an affine point may show over
+// its uniform counterpart at the same grid coordinates: measured rank-error
+// mean and max (queue) or mean and max absolute deviation (counter) at most
+// 1.5× the uniform point's — the envelope multiple ISSUE 5 budgets for
+// choice locality.
+const AffineDriftLimit = 1.5
+
+// DriftRatio scores an affine quality statistic against its uniform twin:
+// the ratio must stay within AffineDriftLimit. A zero uniform value has no
+// meaningful ratio and passes vacuously (ratio 0): treat it as a degenerate
+// audit, not a gate signal — full sweeps never measure zero (the standing
+// buffers and 200k-increment audits always accumulate error), and only the
+// mean statistic carries its own absolute within-envelope bound. It is the
+// single definition both cmd/benchall's gates and cmd/quality's interactive
+// drift verdict read, so the two audits cannot disagree on the same
+// measurement.
+func DriftRatio(affine, uniform float64) (ratio float64, ok bool) {
+	if uniform == 0 {
+		return 0, true
+	}
+	ratio = affine / uniform
+	return ratio, ratio <= AffineDriftLimit
+}
 
 // Env captures the machine context a JSON report was produced on.
 type Env struct {
@@ -66,21 +104,29 @@ func CaptureEnv() Env {
 // (m, stickiness, batch) MultiQueue setting against Theorem 7.1's O(m·log m)
 // envelope — the same measurement cmd/quality -queue reports interactively.
 type RankQuality struct {
-	RankErrorMean  float64 `json:"rank_error_mean"`
+	RankErrorMean float64 `json:"rank_error_mean"`
+	// RankErrorMax is the largest single-dequeue rank error observed during
+	// the audit — the max-cost statistic the affine gate's
+	// AffineMaxDriftRatio compares alongside the mean (schema v5).
+	RankErrorMax   float64 `json:"rank_error_max"`
 	Envelope       float64 `json:"envelope_m_log_m"`
 	WithinEnvelope bool    `json:"within_envelope"`
 }
 
 // MQPoint is one MultiQueue sweep measurement.
 type MQPoint struct {
-	Threads    int     `json:"threads"`
-	M          int     `json:"m"`
-	Backing    string  `json:"backing"`
-	Stickiness int     `json:"stickiness"`
-	Batch      int     `json:"batch"`
-	Ops        int64   `json:"ops"`
-	Seconds    float64 `json:"seconds"`
-	Mops       float64 `json:"mops"`
+	Threads    int    `json:"threads"`
+	M          int    `json:"m"`
+	Backing    string `json:"backing"`
+	Stickiness int    `json:"stickiness"`
+	Batch      int    `json:"batch"`
+	// Affinity is the shard-affine sticky sampler's stripe fraction for this
+	// point (MultiQueueConfig.Affinity): 0 = uniform choices, the paper's
+	// assumption and the pre-v5 behavior.
+	Affinity float64 `json:"affinity"`
+	Ops      int64   `json:"ops"`
+	Seconds  float64 `json:"seconds"`
+	Mops     float64 `json:"mops"`
 	// Speedup is Mops over the (Backing=binary, Stickiness=1, Batch=1)
 	// baseline at the same (Threads, M) — one shared denominator so backings
 	// compare against each other as well as against the per-op baseline;
@@ -133,6 +179,33 @@ type MQSummary struct {
 	// CommittedByBacking reached at least its committed within-envelope
 	// speedup on the cached path.
 	MeetsCommitted bool `json:"topcache_meets_pr3_committed"`
+	// AffineBestSpeedup is the speedup of the fastest gate-passing
+	// Affinity > 0 top-cache point at Threads >= GateThreads with the
+	// headline (s=8, k=8) amortisation (or the fastest affine point overall
+	// when none passes — MeetsAffine then reports false), and AffineBest
+	// the point it quotes — the affine side of the schema v5
+	// affine-vs-uniform gate.
+	AffineBestSpeedup float64 `json:"affine_best_speedup"`
+	AffineBest        MQPoint `json:"affine_best_point"`
+	// AffineUniformSpeedup is the uniform (Affinity = 0) speedup at
+	// AffineBest's (threads, m, backing, stickiness, batch) grid
+	// coordinates — the counterpart the affine point must match.
+	AffineUniformSpeedup float64 `json:"affine_uniform_counterpart_speedup"`
+	// AffineDriftRatio is AffineBest's measured rank-error mean over its
+	// uniform counterpart's at the same coordinates — the quality price of
+	// stripe-local choices, gated at AffineDriftLimit.
+	AffineDriftRatio float64 `json:"affine_drift_ratio"`
+	// AffineMaxDriftRatio is the same comparison on the measured max rank
+	// cost (RankErrorMax), gated at AffineDriftLimit alongside the mean —
+	// the ISSUE 5 acceptance criterion's max-cost contract.
+	AffineMaxDriftRatio float64 `json:"affine_max_drift_ratio"`
+	// MeetsAffine reports the affine gate: some Affinity > 0 setting
+	// reached at least AffineMatchTolerance × the uniform counterpart's
+	// speedup while its mean and max drift ratios stayed within
+	// AffineDriftLimit and its own rank mean stayed inside the m·log m
+	// envelope. False when the sweep carried no affine points (quick smoke
+	// runs are ungated).
+	MeetsAffine bool `json:"affine_matches_uniform_within_drift"`
 }
 
 // MQReport is the BENCH_multiqueue.json schema.
@@ -164,15 +237,19 @@ type CounterQuality struct {
 // baseline is recorded with Variant "exact-faa" and zero M/Choices/…; the
 // relaxed counter uses Variant "multicounter".
 type MCPoint struct {
-	Threads    int     `json:"threads"`
-	Variant    string  `json:"variant"`
-	M          int     `json:"m,omitempty"`
-	Choices    int     `json:"choices,omitempty"`
-	Stickiness int     `json:"stickiness,omitempty"`
-	Batch      int     `json:"batch,omitempty"`
-	Ops        int64   `json:"ops"`
-	Seconds    float64 `json:"seconds"`
-	Mops       float64 `json:"mops"`
+	Threads    int    `json:"threads"`
+	Variant    string `json:"variant"`
+	M          int    `json:"m,omitempty"`
+	Choices    int    `json:"choices,omitempty"`
+	Stickiness int    `json:"stickiness,omitempty"`
+	Batch      int    `json:"batch,omitempty"`
+	// Affinity is the shard-affine sticky sampler's stripe fraction for this
+	// point (MultiCounterConfig.Affinity): 0 = uniform choices, the paper's
+	// assumption and the pre-v5 behavior (always 0 for exact-faa).
+	Affinity float64 `json:"affinity"`
+	Ops      int64   `json:"ops"`
+	Seconds  float64 `json:"seconds"`
+	Mops     float64 `json:"mops"`
 	// Speedup is Mops over the per-op two-choice baseline
 	// (Choices=2, Stickiness=1, Batch=1) at the same (Threads, M); 1.0 for
 	// the baseline itself and 0 for the exact-faa reference, which is not a
@@ -196,6 +273,24 @@ type MCSummary struct {
 	BestWithinEnvelopeSpeedup float64 `json:"best_within_envelope_speedup"`
 	BestWithinEnvelope        MCPoint `json:"best_within_envelope_point"`
 	MeetsTarget               bool    `json:"meets_1_5x_target_within_envelope"`
+	// AffineBestSpeedup / AffineBest quote the fastest gate-passing
+	// Affinity > 0 point at Threads >= GateThreads with the headline
+	// (s=8, k=8) amortisation (or the fastest overall when none passes and
+	// MeetsAffine is false) — the counter side of the schema v5
+	// affine-vs-uniform gate, symmetric to MQSummary's.
+	AffineBestSpeedup float64 `json:"affine_best_speedup"`
+	AffineBest        MCPoint `json:"affine_best_point"`
+	// AffineUniformSpeedup is the uniform (Affinity = 0) speedup at
+	// AffineBest's (threads, m, choices, stickiness, batch) coordinates.
+	AffineUniformSpeedup float64 `json:"affine_uniform_counterpart_speedup"`
+	// AffineDriftRatio is AffineBest's mean absolute deviation over its
+	// uniform counterpart's, gated at AffineDriftLimit.
+	AffineDriftRatio float64 `json:"affine_drift_ratio"`
+	// AffineMaxDriftRatio is the same comparison on the measured max
+	// absolute deviation, gated at AffineDriftLimit alongside the mean.
+	AffineMaxDriftRatio float64 `json:"affine_max_drift_ratio"`
+	// MeetsAffine mirrors MQSummary.MeetsAffine for the counter sweep.
+	MeetsAffine bool `json:"affine_matches_uniform_within_drift"`
 }
 
 // MCReport is the BENCH_multicounter.json schema. Summary is nil for
@@ -324,6 +419,9 @@ func ValidateMQ(r *MQReport) error {
 		if pt.Backing == "" {
 			return fmt.Errorf("point %d: missing backing label", i)
 		}
+		if !(pt.Affinity >= 0 && pt.Affinity <= 1) { // rejects NaN too
+			return fmt.Errorf("point %d: affinity %v outside [0, 1]", i, pt.Affinity)
+		}
 		if pt.Seconds <= 0 || pt.Ops < 0 || pt.Mops < 0 || pt.Speedup < 0 {
 			return fmt.Errorf("point %d: implausible measurements (ops %d in %.3fs)", i, pt.Ops, pt.Seconds)
 		}
@@ -346,9 +444,15 @@ func ValidateMC(r *MCReport) error {
 	for i, pt := range r.Points {
 		switch pt.Variant {
 		case "exact-faa":
+			if pt.Affinity != 0 {
+				return fmt.Errorf("point %d: exact-faa carries affinity %v", i, pt.Affinity)
+			}
 		case "multicounter":
 			if pt.M < 1 || pt.Choices < 1 || pt.Stickiness < 1 || pt.Batch < 1 {
 				return fmt.Errorf("point %d: non-positive grid coordinates %+v", i, pt)
+			}
+			if !(pt.Affinity >= 0 && pt.Affinity <= 1) { // rejects NaN too
+				return fmt.Errorf("point %d: affinity %v outside [0, 1]", i, pt.Affinity)
 			}
 		default:
 			return fmt.Errorf("point %d: unknown variant %q", i, pt.Variant)

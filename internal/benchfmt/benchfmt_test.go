@@ -1,0 +1,117 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleMQ returns a minimal structurally valid MQReport carrying both a
+// uniform and an affine point.
+func sampleMQ() *MQReport {
+	rep := &MQReport{Bench: MQBench, Schema: SchemaVersion, Env: CaptureEnv(), DurMS: 1}
+	base := MQPoint{
+		Threads: 8, M: 128, Backing: "binary", Stickiness: 8, Batch: 8,
+		Ops: 1000, Seconds: 0.5, Mops: 2, Speedup: 1,
+		Quality:  RankQuality{RankErrorMean: 10, RankErrorMax: 40, Envelope: 896, WithinEnvelope: true},
+		TopCache: true,
+	}
+	affine := base
+	affine.Affinity = 0.25
+	rep.Points = []MQPoint{base, affine}
+	rep.Summary.GateThreads = 8
+	return rep
+}
+
+// sampleMC returns a minimal structurally valid MCReport.
+func sampleMC() *MCReport {
+	rep := &MCReport{Bench: MCBench, Schema: SchemaVersion, Env: CaptureEnv(), DurMS: 1,
+		Summary: &MCSummary{GateThreads: 8}}
+	q := &CounterQuality{MeanAbsDeviation: 10, Envelope: 896, WithinEnvelope: true}
+	rep.Points = []MCPoint{
+		{Threads: 8, Variant: "exact-faa", Ops: 10, Seconds: 0.5, Mops: 1},
+		{Threads: 8, Variant: "multicounter", M: 128, Choices: 2, Stickiness: 8, Batch: 8,
+			Affinity: 0.25, Ops: 10, Seconds: 0.5, Mops: 1, Speedup: 1, Quality: q},
+	}
+	return rep
+}
+
+// TestValidateFileRoundTripV5 writes both report shapes with the v5
+// affinity fields and round-trips them through ValidateFile — the check the
+// benchall -validate CI step runs on the committed BENCH_*.json.
+func TestValidateFileRoundTripV5(t *testing.T) {
+	dir := t.TempDir()
+	for name, rep := range map[string]any{
+		"mq.json": sampleMQ(),
+		"mc.json": sampleMC(),
+	} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, rep); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		if _, err := ValidateFile(path); err != nil {
+			t.Fatalf("%s: validate: %v", name, err)
+		}
+	}
+}
+
+// TestValidateRejectsAffinityDrift pins the v5 failure modes: an affinity
+// outside [0, 1], an exact-faa point carrying affinity, a stale schema
+// number, and byte-level round-trip drift (a field silently dropped from
+// the file) must all fail validation.
+func TestValidateRejectsAffinityDrift(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep any) string {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, rep); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		return path
+	}
+
+	bad := sampleMQ()
+	bad.Points[1].Affinity = 1.5
+	if _, err := ValidateFile(write("mq-range.json", bad)); err == nil || !strings.Contains(err.Error(), "affinity") {
+		t.Fatalf("affinity 1.5 not rejected: %v", err)
+	}
+
+	badMC := sampleMC()
+	badMC.Points[0].Affinity = 0.5 // exact-faa has no sampler
+	if _, err := ValidateFile(write("mc-faa.json", badMC)); err == nil || !strings.Contains(err.Error(), "affinity") {
+		t.Fatalf("exact-faa affinity not rejected: %v", err)
+	}
+
+	stale := sampleMQ()
+	stale.Schema = SchemaVersion - 1
+	if _, err := ValidateFile(write("mq-stale.json", stale)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("stale schema not rejected: %v", err)
+	}
+
+	// Round-trip drift: strip the affinity key out of the on-disk bytes the
+	// way a hand-edited or pre-v5 tool-written file would lose it; the
+	// canonical re-marshal comparison must catch the difference.
+	path := write("mq-drift.json", sampleMQ())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range raw["points"].([]any) {
+		delete(pt.(map[string]any), "affinity")
+	}
+	stripped, err := json.MarshalIndent(raw, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(stripped, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateFile(path); err == nil {
+		t.Fatal("dropped affinity field survived the round-trip comparison")
+	}
+}

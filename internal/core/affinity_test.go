@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestSamplerDedupesCandidates is the regression test for the duplicate-
+// candidate waste fix: every candidate set must contain d distinct indices,
+// so Best/BestKeyed never pay a redundant load of the same shard. Small m
+// with d close to m makes collisions near-certain without the resampling.
+func TestSamplerDedupesCandidates(t *testing.T) {
+	for _, tc := range []struct{ m, d int }{{4, 4}, {4, 3}, {8, 4}, {2, 2}, {5, 2}} {
+		s := NewSampler(tc.m, tc.d, 1)
+		r := rng.NewXoshiro256(11)
+		for i := 0; i < 2000; i++ {
+			cand := s.Candidates(r, 1)
+			seen := map[int]bool{}
+			for _, c := range cand {
+				if c < 0 || c >= tc.m {
+					t.Fatalf("m=%d d=%d: index %d out of range", tc.m, tc.d, c)
+				}
+				if seen[c] {
+					t.Fatalf("m=%d d=%d: duplicate candidate %d in %v", tc.m, tc.d, c, cand)
+				}
+				seen[c] = true
+			}
+			s.Charge(1)
+		}
+	}
+	// d > m clamps to m (the m >= C·n assumption makes this a degenerate
+	// configuration, but it must not loop forever hunting distinct indices).
+	if s := NewSampler(3, 8, 1); s.Choices() != 3 {
+		t.Fatalf("d > m clamped to %d, want 3", s.Choices())
+	}
+}
+
+// TestSamplerAffineDedupes is the same distinctness invariant on the affine
+// path, where the d−1 stripe draws and the uniform escape draw come from
+// different domains and must still be pairwise distinct.
+func TestSamplerAffineDedupes(t *testing.T) {
+	s := NewAffineSampler(16, 4, 1, 0.25, 3) // w = max(4, 4) = 4: stripe draws must dedupe hard
+	r := rng.NewXoshiro256(12)
+	for i := 0; i < 2000; i++ {
+		cand := s.Candidates(r, 1)
+		seen := map[int]bool{}
+		for _, c := range cand {
+			if seen[c] {
+				t.Fatalf("duplicate candidate %d in %v", c, cand)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// TestSamplerRerollKeepsRemainingBudget pins the Reroll semantics the
+// queue's empty/contended path relies on: a reroll forces a fresh draw but
+// the replacement candidates inherit only the remaining window budget —
+// unlike Expire, which starts a whole new window. The sampler has window 10;
+// after charging 3 and rerolling, the fresh set must expire after 7 more
+// charges, not 10.
+func TestSamplerRerollKeepsRemainingBudget(t *testing.T) {
+	s := NewSampler(1<<20, 2, 10)
+	r := rng.NewXoshiro256(21)
+	first := append([]int(nil), s.Candidates(r, 1)...)
+	s.Charge(3)
+	s.Reroll()
+	second := append([]int(nil), s.Candidates(r, 1)...)
+	if first[0] == second[0] && first[1] == second[1] {
+		t.Fatalf("Reroll did not force a fresh draw: %v", first)
+	}
+	// The rerolled set serves exactly the 7 remaining operations.
+	for i := 0; i < 6; i++ {
+		s.Charge(1)
+		got := s.Candidates(r, 1)
+		if got[0] != second[0] || got[1] != second[1] {
+			t.Fatalf("rerolled set changed %d charges into its 7-op budget: %v vs %v", i+1, got, second)
+		}
+	}
+	s.Charge(1) // 7th: budget exhausted
+	third := s.Candidates(r, 1)
+	if third[0] == second[0] && third[1] == second[1] {
+		t.Fatalf("rerolled set survived past the inherited budget: %v", third)
+	}
+	// Contrast: Expire resets the whole window.
+	s2 := NewSampler(1<<20, 2, 10)
+	r2 := rng.NewXoshiro256(22)
+	s2.Candidates(r2, 1)
+	s2.Charge(3)
+	s2.Expire()
+	fresh := append([]int(nil), s2.Candidates(r2, 1)...)
+	for i := 0; i < 9; i++ {
+		s2.Charge(1)
+		got := s2.Candidates(r2, 1)
+		if got[0] != fresh[0] || got[1] != fresh[1] {
+			t.Fatalf("Expire-refreshed set changed %d charges into its full 10-op window", i+1)
+		}
+	}
+}
+
+// pr4Sampler reimplements the PR 4 candidate draw — d independent uniform
+// Intn(m) draws per refresh, duplicates allowed, no affinity — as the
+// reference model for the identical-trace property below.
+type pr4Sampler struct {
+	m, d, window, left int
+	cand               []int
+}
+
+func (s *pr4Sampler) candidates(r *rng.Xoshiro256, need int) []int {
+	if s.window <= 1 || s.left < need {
+		for i := range s.cand {
+			s.cand[i] = r.Intn(s.m)
+		}
+		s.left = s.window
+	}
+	return s.cand
+}
+
+// TestSamplerAffinityZeroIdenticalToPR4 is the identical-trace property:
+// with Affinity 0 the sampler consumes the same PRNG stream and produces
+// bit-for-bit the same candidate sets as the PR 4 sampler, for every refresh
+// in which the PR 4 draw had no internal collision (the deliberate dedupe
+// fix resamples collisions, which is the only divergence — at m = 2^20 the
+// fixed-seed horizon below is collision-free, so the traces match end to
+// end, NewSampler and NewAffineSampler(…, 0, id) alike).
+func TestSamplerAffinityZeroIdenticalToPR4(t *testing.T) {
+	const m, d, window, horizon = 1 << 20, 2, 4, 4000
+	model := &pr4Sampler{m: m, d: d, window: window, cand: make([]int, d)}
+	uni := NewSampler(m, d, window)
+	aff := NewAffineSampler(m, d, window, 0, 9)
+	rm, ru, ra := rng.NewXoshiro256(33), rng.NewXoshiro256(33), rng.NewXoshiro256(33)
+	for op := 0; op < horizon; op++ {
+		need := 1 + op%3 // vary need so the batch-refresh branch is covered too
+		want := model.candidates(rm, need)
+		if want[0] == want[1] {
+			t.Fatalf("op %d: PR 4 model drew a collision at m=2^20 — pick another seed", op)
+		}
+		gotU := uni.Candidates(ru, need)
+		gotA := aff.Candidates(ra, need)
+		for i := range want {
+			if gotU[i] != want[i] || gotA[i] != want[i] {
+				t.Fatalf("op %d: trace diverged from PR 4 model: model %v, uniform %v, affine-0 %v",
+					op, want, gotU, gotA)
+			}
+		}
+		model.left -= need
+		uni.Charge(need)
+		aff.Charge(need)
+	}
+}
+
+// chiSquare computes the chi-square statistic of observed counts against a
+// uniform expectation over len(obs) bins.
+func chiSquare(obs []int, total int) float64 {
+	expected := float64(total) / float64(len(obs))
+	var x2 float64
+	for _, o := range obs {
+		diff := float64(o) - expected
+		x2 += diff * diff / expected
+	}
+	return x2
+}
+
+// TestSamplerUniformOccupancyChiSquare checks the uniform sampler's draws
+// are uniform over the m shards: the chi-square statistic over a fixed-seed
+// sample must stay below a generous bound on the 99.9% quantile for m−1
+// degrees of freedom (≈ 112 at m = 64; the run is deterministic, the slack
+// guards against the mild dependence the within-set dedupe introduces).
+func TestSamplerUniformOccupancyChiSquare(t *testing.T) {
+	const m, d, refreshes = 64, 2, 20000
+	s := NewSampler(m, d, 1)
+	r := rng.NewXoshiro256(44)
+	counts := make([]int, m)
+	for i := 0; i < refreshes; i++ {
+		for _, c := range s.Candidates(r, 1) {
+			counts[c]++
+		}
+	}
+	if x2 := chiSquare(counts, refreshes*d); x2 > 160 {
+		t.Fatalf("uniform sampler chi-square %.1f > 160 over %d bins", x2, m)
+	}
+}
+
+// TestSamplerAffineOccupancy checks the affine draw geometry: every one of
+// the d−1 stripe candidates lands inside the current home stripe (so at
+// least (d−1)/d of all draws are stripe-local by construction), the escape
+// slot stays uniform over all m shards (chi-square, same bound as the
+// uniform test), the stripe rotates exactly every affinityRotateEvery
+// refreshes, and across a full rotation cycle every shard is reachable.
+func TestSamplerAffineOccupancy(t *testing.T) {
+	const m, d, refreshes = 64, 4, 20000
+	const af = 0.25 // w = 16
+	s := NewAffineSampler(m, d, 1, af, 5)
+	if base, width := s.Stripe(); width != 16 {
+		t.Fatalf("stripe width %d at affinity %.2f, want 16 (base %d)", width, af, base)
+	}
+	r := rng.NewXoshiro256(55)
+	escape := make([]int, m)
+	all := make([]int, m)
+	prevBase, _ := s.Stripe()
+	rotations := 0
+	for i := 0; i < refreshes; i++ {
+		cand := s.Candidates(r, 1)
+		base, width := s.Stripe() // read after the refresh: rotation happens inside
+		if base != prevBase {
+			rotations++
+			if want := (prevBase + width) % m; base != want {
+				t.Fatalf("refresh %d: stripe moved %d -> %d, want %d", i, prevBase, base, want)
+			}
+			prevBase = base
+		}
+		for _, c := range cand[:d-1] {
+			if off := ((c - base) + m) % m; off >= width {
+				t.Fatalf("refresh %d: stripe candidate %d outside stripe [%d, %d)", i, c, base, base+width)
+			}
+		}
+		escape[cand[d-1]]++
+		for _, c := range cand {
+			all[c]++
+		}
+	}
+	if want := refreshes/affinityRotateEvery - 1; rotations < want {
+		t.Fatalf("observed %d rotations, want >= %d", rotations, want)
+	}
+	if x2 := chiSquare(escape, refreshes); x2 > 160 {
+		t.Fatalf("escape-slot chi-square %.1f > 160: escape candidate is not uniform", x2)
+	}
+	for i, n := range all {
+		if n == 0 {
+			t.Fatalf("shard %d never sampled across %d affine refreshes", i, refreshes)
+		}
+	}
+}
+
+// TestAffineStripesDeterministicAndSpread checks the handle-id threading:
+// stripes are a pure function of (m, d, affinity, handle id), and the
+// golden-ratio placement spreads distinct handles' stripe bases across the
+// ring instead of piling them up.
+func TestAffineStripesDeterministicAndSpread(t *testing.T) {
+	const m = 256
+	bases := map[int]bool{}
+	for id := uint64(0); id < 8; id++ {
+		a := NewAffineSampler(m, 2, 8, 0.125, id)
+		b := NewAffineSampler(m, 2, 8, 0.125, id)
+		ab, aw := a.Stripe()
+		bb, bw := b.Stripe()
+		if ab != bb || aw != bw {
+			t.Fatalf("handle %d: stripe not deterministic: (%d,%d) vs (%d,%d)", id, ab, aw, bb, bw)
+		}
+		bases[ab] = true
+	}
+	if len(bases) < 7 {
+		t.Fatalf("8 handles produced only %d distinct stripe bases", len(bases))
+	}
+	// And through the structures: handles created in the same order get the
+	// same stripes run to run.
+	q1 := NewMultiQueue(MultiQueueConfig{Queues: m, Affinity: 0.125, Seed: 1})
+	q2 := NewMultiQueue(MultiQueueConfig{Queues: m, Affinity: 0.125, Seed: 1})
+	for i := 0; i < 4; i++ {
+		h1, h2 := q1.NewHandle(uint64(i)+1), q2.NewHandle(uint64(i)+1)
+		if h1.ID() != uint64(i) || h2.ID() != uint64(i) {
+			t.Fatalf("handle ids not creation-ordered: %d/%d, want %d", h1.ID(), h2.ID(), i)
+		}
+		b1, w1 := h1.deq.Stripe()
+		b2, w2 := h2.deq.Stripe()
+		if b1 != b2 || w1 != w2 {
+			t.Fatalf("handle %d: queue stripes differ across identical runs", i)
+		}
+	}
+	mc := NewMultiCounter(m, WithAffinity(0.125), WithStickiness(4))
+	if got := mc.Affinity(); got != 0.125 {
+		t.Fatalf("WithAffinity not applied: %v", got)
+	}
+	if h := mc.NewHandle(1); !h.smp.Affine() || h.ID() != 0 {
+		t.Fatalf("counter handle not affine (id %d)", h.ID())
+	}
+}
+
+// TestAffinityConfigValidation pins the config contract: out-of-range
+// fractions panic on both structures and on the option, affinity 1 is
+// accepted (whole-ring stripe), and d = 1 degenerates to uniform.
+func TestAffinityConfigValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"queue-neg":   func() { NewMultiQueue(MultiQueueConfig{Queues: 4, Affinity: -0.1}) },
+		"queue-big":   func() { NewMultiQueue(MultiQueueConfig{Queues: 4, Affinity: 1.1}) },
+		"queue-nan":   func() { NewMultiQueue(MultiQueueConfig{Queues: 4, Affinity: math.NaN()}) },
+		"counter-neg": func() { NewMultiCounterConfig(MultiCounterConfig{Counters: 4, Affinity: -0.1}) },
+		"counter-big": func() { NewMultiCounterConfig(MultiCounterConfig{Counters: 4, Affinity: math.Inf(1)}) },
+		"counter-nan": func() { NewMultiCounterConfig(MultiCounterConfig{Counters: 4, Affinity: math.NaN()}) },
+		"option":      func() { WithAffinity(2) },
+		"option-nan":  func() { WithAffinity(math.NaN()) },
+		"sampler":     func() { NewAffineSampler(4, 2, 1, -1, 0) },
+		"sampler-nan": func() { NewAffineSampler(4, 2, 1, math.NaN(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if q := NewMultiQueue(MultiQueueConfig{Queues: 8, Affinity: 1}); q.Affinity() != 1 {
+		t.Fatalf("Affinity() = %v, want 1", q.Affinity())
+	}
+	if s := NewAffineSampler(8, 1, 1, 0.5, 0); s.Affine() {
+		t.Fatal("d = 1 affine sampler should degenerate to uniform (the single candidate is the escape)")
+	}
+}
+
+// TestAffineDequeueDrainsWholeRing drives a single affine handle through a
+// mixed enqueue/dequeue load and a full drain: the escape candidate plus
+// stripe rotation must reach every queue, so the drain terminates with
+// every element accounted for even though d−1 of d choices are stripe-local.
+func TestAffineDequeueDrainsWholeRing(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Queues: 32, Affinity: 0.25, Stickiness: 8, Batch: 8, Seed: 3})
+	h := q.NewHandle(1)
+	const n = 4096
+	seen := make(map[uint64]bool, n)
+	for v := uint64(0); v < n; v++ {
+		h.Enqueue(v)
+		if v%2 == 1 {
+			it, ok := h.Dequeue()
+			if !ok {
+				t.Fatalf("dequeue %d failed mid-load", v)
+			}
+			seen[it.Value] = true
+		}
+	}
+	for {
+		it, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[it.Value] {
+			t.Fatalf("value %d dequeued twice", it.Value)
+		}
+		seen[it.Value] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d distinct values, want %d", len(seen), n)
+	}
+}

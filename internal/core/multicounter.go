@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/counters"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -24,11 +26,13 @@ import (
 // (DESIGN.md §2). cmd/quality and cmd/benchall audit the deviation cost of
 // any setting against the m·log₂m envelope.
 type MultiCounter struct {
-	shards *counters.Sharded
-	m      int
-	d      int
-	stick  int
-	batch  int
+	shards   *counters.Sharded
+	m        int
+	d        int
+	stick    int
+	batch    int
+	affinity float64
+	nextID   atomic.Uint64 // handle ids, assigned at NewHandle
 }
 
 // MultiCounterConfig configures NewMultiCounter. The zero value of optional
@@ -60,6 +64,18 @@ type MultiCounterConfig struct {
 	// publishing. Buffered increments are invisible to Read/Exact/Gap until
 	// the batch flushes; call Handle.Flush at quiescence.
 	Batch int
+	// Affinity is the shard-affinity fraction a ∈ [0, 1] of the sticky
+	// d-choice sampler (DESIGN.md §7): each handle owns a home stripe of
+	// w = max(Choices, ⌈a·Counters⌉) contiguous shard indices, placed
+	// deterministically from its handle id, and every candidate refresh
+	// draws Choices−1 candidates from the stripe plus one uniform escape
+	// candidate, rotating the stripe periodically so no shard starves.
+	// 0 (the default) keeps every draw uniform — the paper's assumption and
+	// tracing identically to the pre-affinity sampler except where the
+	// candidate dedupe resamples a collision (~d²/2m of refreshes). The
+	// deviation cost of any setting is measured by cmd/quality -affinity.
+	// Values outside [0, 1] panic.
+	Affinity float64
 }
 
 // MultiCounterOption is a functional option for the NewMultiCounter
@@ -89,6 +105,17 @@ func WithStickiness(s int) MultiCounterOption {
 // per-operation publishing, Algorithm 1 exactly).
 func WithBatch(k int) MultiCounterOption {
 	return func(cfg *MultiCounterConfig) { cfg.Batch = k }
+}
+
+// WithAffinity sets MultiCounterConfig.Affinity, the shard-affinity fraction
+// a ∈ [0, 1] biasing each handle's sticky d-choice sampler toward its home
+// stripe of max(Choices, ⌈a·m⌉) contiguous shards (0, the default, keeps
+// every draw uniform — Algorithm 1 exactly). Values outside [0, 1] panic.
+func WithAffinity(a float64) MultiCounterOption {
+	if !(a >= 0 && a <= 1) { // rejects NaN too
+		panic("core: WithAffinity needs a in [0, 1]")
+	}
+	return func(cfg *MultiCounterConfig) { cfg.Affinity = a }
 }
 
 // NewMultiCounter returns a MultiCounter over m atomic counters with the
@@ -121,12 +148,16 @@ func NewMultiCounterConfig(cfg MultiCounterConfig) *MultiCounter {
 	if cfg.Batch < 1 {
 		cfg.Batch = 1
 	}
+	if !(cfg.Affinity >= 0 && cfg.Affinity <= 1) { // rejects NaN too
+		panic("core: MultiCounterConfig.Affinity must be in [0, 1]")
+	}
 	return &MultiCounter{
-		shards: counters.NewSharded(cfg.Counters),
-		m:      cfg.Counters,
-		d:      cfg.Choices,
-		stick:  cfg.Stickiness,
-		batch:  cfg.Batch,
+		shards:   counters.NewSharded(cfg.Counters),
+		m:        cfg.Counters,
+		d:        cfg.Choices,
+		stick:    cfg.Stickiness,
+		batch:    cfg.Batch,
+		affinity: cfg.Affinity,
 	}
 }
 
@@ -141,6 +172,9 @@ func (c *MultiCounter) Stickiness() int { return c.stick }
 
 // Batch returns the configured batching factor k (>= 1).
 func (c *MultiCounter) Batch() int { return c.batch }
+
+// Affinity returns the configured shard-affinity fraction (0 = uniform).
+func (c *MultiCounter) Affinity() float64 { return c.affinity }
 
 // Increment applies one unamortised d-choice increment using the
 // caller-owned generator r — Algorithm 1's increment, ignoring the
@@ -207,6 +241,7 @@ func (c *MultiCounter) Snapshot(dst []uint64) { c.shards.Snapshot(dst) }
 // one goroutine at a time.
 type Handle struct {
 	c   *MultiCounter
+	id  uint64
 	r   *rng.Xoshiro256
 	smp Sampler
 
@@ -216,13 +251,17 @@ type Handle struct {
 }
 
 // NewHandle returns a handle whose random stream is derived from seed,
-// inheriting the counter's Choices, Stickiness and Batch configuration.
+// inheriting the counter's Choices, Stickiness, Batch and Affinity
+// configuration. Handles are numbered in creation order (Handle.ID); the id
+// deterministically places the handle's home stripe when Affinity > 0.
 // Distinct workers must use distinct seeds (or rng.Streams).
 func (c *MultiCounter) NewHandle(seed uint64) *Handle {
+	id := c.nextID.Add(1) - 1
 	return &Handle{
 		c:   c,
+		id:  id,
 		r:   rng.NewXoshiro256(seed),
-		smp: NewSampler(c.m, c.d, c.stick),
+		smp: NewAffineSampler(c.m, c.d, c.stick, c.affinity, id),
 	}
 }
 
@@ -278,6 +317,10 @@ func (h *Handle) Read() uint64 { return h.c.Read(h.r) }
 
 // Counter returns the underlying MultiCounter.
 func (h *Handle) Counter() *MultiCounter { return h.c }
+
+// ID returns the handle's creation-order id (0 for the first handle), the
+// value that seeds its home stripe when the counter runs with Affinity > 0.
+func (h *Handle) ID() uint64 { return h.id }
 
 // IncrementTraced performs an unamortised increment and records the
 // operation in log with stamps from rec; the linearization stamp is taken

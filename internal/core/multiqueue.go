@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/clock"
 	"repro/internal/cpq"
 	"repro/internal/heap"
@@ -28,8 +30,10 @@ type MultiQueue struct {
 	d         int
 	stick     int
 	batch     int
+	affinity  float64
 	backing   cpq.Backing
 	lockedTop bool
+	nextID    atomic.Uint64 // handle ids, assigned at NewHandle
 }
 
 // blockClock is the optional fast path a clock can offer batched enqueuers:
@@ -80,6 +84,20 @@ type MultiQueueConfig struct {
 	// handles until the batch flushes (call MQHandle.Flush at quiescence);
 	// prefetched elements are already dequeued from the shared structure.
 	Batch int
+	// Affinity is the shard-affinity fraction a ∈ [0, 1] of the sticky
+	// dequeue sampler (DESIGN.md §7): each handle owns a home stripe of
+	// w = max(Choices, ⌈a·Queues⌉) contiguous queue indices, placed
+	// deterministically from its handle id, and every candidate refresh
+	// draws Choices−1 candidates from the stripe plus one uniform escape
+	// candidate, rotating the stripe periodically so no region starves.
+	// 0 (the default) keeps every draw uniform over all queues — the
+	// paper's assumption, tracing identically to the pre-affinity sampler
+	// except where the candidate dedupe resamples a collision (~d²/2m of
+	// refreshes).
+	// Enqueues always insert uniformly, so the insert-side load balance the
+	// analysis needs is unaffected; the rank-drift cost of any setting is
+	// measured by cmd/quality -queue -affinity. Values outside [0, 1] panic.
+	Affinity float64
 	// LockedTopRead disables the per-queue lock-free top cache (ablation
 	// A5): every ReadMin in the d-choice comparison and the empty-queue
 	// scan then takes the queue's lock and Peeks. Benchmarks use it to
@@ -110,6 +128,9 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	if cfg.Batch < 1 {
 		cfg.Batch = 1
 	}
+	if !(cfg.Affinity >= 0 && cfg.Affinity <= 1) { // rejects NaN too
+		panic("core: MultiQueueConfig.Affinity must be in [0, 1]")
+	}
 	sm := rng.NewSplitMix64(cfg.Seed)
 	mq := &MultiQueue{
 		qs:        make([]*cpq.Queue, cfg.Queues),
@@ -118,6 +139,7 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 		d:         cfg.Choices,
 		stick:     cfg.Stickiness,
 		batch:     cfg.Batch,
+		affinity:  cfg.Affinity,
 		backing:   cfg.Backing,
 		lockedTop: cfg.LockedTopRead,
 	}
@@ -139,6 +161,9 @@ func (q *MultiQueue) Stickiness() int { return q.stick }
 
 // Batch returns the configured batching factor k (>= 1).
 func (q *MultiQueue) Batch() int { return q.batch }
+
+// Affinity returns the configured shard-affinity fraction (0 = uniform).
+func (q *MultiQueue) Affinity() float64 { return q.affinity }
 
 // Backing returns the configured per-queue sequential backing.
 func (q *MultiQueue) Backing() cpq.Backing { return q.backing }
@@ -181,8 +206,9 @@ func (q *MultiQueue) Sizes(dst []int) {
 // flush, and the prefetched dequeue run. A handle must be used by one
 // goroutine at a time.
 type MQHandle struct {
-	q *MultiQueue
-	r *rng.Xoshiro256
+	q  *MultiQueue
+	id uint64
+	r  *rng.Xoshiro256
 
 	// Sticky sampling state: one uniform choice for inserts (Algorithm 2's
 	// enqueue), d choices for removals.
@@ -207,13 +233,20 @@ type MQHandle struct {
 }
 
 // NewHandle returns a per-goroutine handle seeded with seed, inheriting the
-// MultiQueue's choice count, stickiness window and batching factor.
+// MultiQueue's choice count, stickiness window, batching factor and affinity
+// fraction. Handles are numbered in creation order (MQHandle.ID); the id
+// deterministically places the handle's home stripe when Affinity > 0, so a
+// fixed creation order reproduces the same stripe layout run to run. The
+// enqueue sampler stays uniform in every mode — Algorithm 2 inserts
+// uniformly, and the insert-side balance is what the analysis leans on.
 func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
+	id := q.nextID.Add(1) - 1
 	h := &MQHandle{
 		q:   q,
+		id:  id,
 		r:   rng.NewXoshiro256(seed),
 		enq: NewSampler(q.m, 1, q.stick),
-		deq: NewSampler(q.m, q.d, q.stick),
+		deq: NewAffineSampler(q.m, q.d, q.stick, q.affinity, id),
 	}
 	if q.batch > 1 {
 		backing := make([]heap.Item, 2*q.batch)
@@ -225,6 +258,10 @@ func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
 
 // Queue returns the underlying MultiQueue.
 func (h *MQHandle) Queue() *MultiQueue { return h.q }
+
+// ID returns the handle's creation-order id (0 for the first handle), the
+// value that seeds its home stripe when the queue runs with Affinity > 0.
+func (h *MQHandle) ID() uint64 { return h.id }
 
 // Buffered returns the number of enqueued elements held in this handle's
 // insert buffer, not yet visible to other handles. Zero unless Batch > 1.
@@ -277,8 +314,11 @@ func (h *MQHandle) readTop(i int) uint64 { return h.q.qs[i].ReadTop().Key() }
 // deqCharge consumes n logical operations from the sticky dequeue window.
 func (h *MQHandle) deqCharge(n int) { h.deq.Charge(n) }
 
-// deqReroll expires the sticky dequeue candidates so the next draw is fresh.
-func (h *MQHandle) deqReroll() { h.deq.Expire() }
+// deqReroll requests fresh sticky dequeue candidates for the next draw
+// without granting them a new window: an empty or contended outcome charges
+// nothing but only inherits the budget the abandoned candidates had left
+// (Sampler.Reroll).
+func (h *MQHandle) deqReroll() { h.deq.Reroll() }
 
 // insert routes one stamped element through the batching layer: direct Add
 // in per-op mode, or buffer-and-flush in batched mode.
