@@ -1,0 +1,198 @@
+// Command dlzd-load drives a running dlzd daemon with a Zipf-skewed
+// multi-tenant workload: tenants are drawn from a Zipf distribution (hot
+// tenants get most of the traffic, like real multi-tenant skew) and enqueue
+// priorities are drawn from a second Zipf over a large key universe (hot
+// keys contend on the same relaxed minima). Each worker goroutine holds one
+// session token per tenant, so the daemon's lease stickiness and shard
+// affinity are exercised exactly as a long-lived client connection would.
+//
+// Usage:
+//
+//	dlzd-load -addr http://localhost:8377 -workers 8 -ops 200000
+//
+// The run ends by closing every session (flushing the leases) and printing
+// per-tenant conservation stats plus wire-operation throughput.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dlzd"
+	"repro/internal/rng"
+)
+
+func postJSON(client *http.Client, url string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8377", "dlzd base URL")
+		tenants    = flag.Int("tenants", 4, "tenant namespaces to spread load over")
+		workers    = flag.Int("workers", 8, "concurrent client sessions")
+		ops        = flag.Int("ops", 100000, "total wire operations")
+		batch      = flag.Int("batch", 8, "max items per wire batch")
+		thetaT     = flag.Float64("zipf-tenant", 0.9, "Zipf theta for tenant skew")
+		thetaP     = flag.Float64("zipf-prio", 0.8, "Zipf theta for priority skew")
+		prioSpace  = flag.Int("prio-space", 1<<20, "priority key universe")
+		seed       = flag.Uint64("seed", 99, "workload seed")
+		quiet      = flag.Bool("quiet", false, "suppress per-tenant stats")
+		maxRetries = flag.Int("max-429-retries", 64, "give up after this many consecutive backpressure rejections")
+	)
+	flag.Parse()
+	if *tenants < 1 || *workers < 1 || *batch < 1 || *batch > dlzd.MaxWireBatch {
+		fmt.Fprintln(os.Stderr, "dlzd-load: -tenants/-workers must be >= 1 and -batch in [1, 4096]")
+		os.Exit(2)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		opCount   atomic.Int64
+		rejected  atomic.Int64
+		enqueued  = make([]atomic.Int64, *tenants)
+		dequeued  = make([]atomic.Int64, *tenants)
+		deltaSums = make([]atomic.Uint64, *tenants)
+	)
+	perWorker := *ops / *workers
+	start := time.Now()
+	wg.Add(*workers)
+	for w := 0; w < *workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			r := rng.NewXoshiro256(*seed + uint64(w)*0x9E3779B97F4A7C15)
+			tenantZipf := rng.NewZipf(r, *tenants, *thetaT)
+			prioZipf := rng.NewZipf(r, *prioSpace, *thetaP)
+			session := fmt.Sprintf("load-w%d", w)
+			backoffs := 0
+			for i := 0; i < perWorker; i++ {
+				tn := tenantZipf.Next() // Zipf variates are already 0-based
+				base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
+				var code int
+				var err error
+				switch r.Intn(4) {
+				case 0, 1:
+					n := 1 + r.Intn(*batch)
+					items := make([]dlzd.WireItem, n)
+					for j := range items {
+						p := uint64(prioZipf.Next())
+						items[j] = dlzd.WireItem{Priority: p, Value: p}
+					}
+					code, err = postJSON(client, base+"/enqueue-batch",
+						dlzd.EnqueueBatchRequest{Session: session, Items: items}, nil)
+					if code == http.StatusOK {
+						enqueued[tn].Add(int64(n))
+					}
+				case 2:
+					var deq dlzd.DeleteMinResponse
+					code, err = postJSON(client, base+"/delete-min-up-to",
+						dlzd.DeleteMinRequest{Session: session, Max: 1 + r.Intn(*batch)}, &deq)
+					if code == http.StatusOK {
+						dequeued[tn].Add(int64(len(deq.Items)))
+					}
+				case 3:
+					n := 1 + r.Intn(*batch)
+					deltas := make([]uint64, n)
+					var sum uint64
+					for j := range deltas {
+						deltas[j] = 1 + r.Uint64n(100)
+						sum += deltas[j]
+					}
+					code, err = postJSON(client, base+"/counter/add-batch",
+						dlzd.CounterAddRequest{Session: session, Deltas: deltas}, nil)
+					if code == http.StatusOK {
+						deltaSums[tn].Add(sum)
+					}
+				}
+				if err != nil {
+					log.Printf("worker %d: %v", w, err)
+					return
+				}
+				switch {
+				case code == http.StatusTooManyRequests:
+					// Backpressure: brief pause, then retry pressure organically
+					// with the next drawn operation.
+					rejected.Add(1)
+					backoffs++
+					if backoffs > *maxRetries {
+						log.Printf("worker %d: giving up after %d consecutive 429s", w, backoffs)
+						return
+					}
+					time.Sleep(time.Duration(backoffs) * time.Millisecond)
+				case code != http.StatusOK:
+					log.Printf("worker %d: unexpected status %d", w, code)
+					return
+				default:
+					backoffs = 0
+					opCount.Add(1)
+				}
+			}
+			// Flush the worker's leases on every tenant it may have touched.
+			for tn := 0; tn < *tenants; tn++ {
+				base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
+				if _, err := postJSON(client, base+"/session/close",
+					dlzd.SessionCloseRequest{Session: session}, nil); err != nil {
+					log.Printf("worker %d: close tenant %d: %v", w, tn, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("dlzd-load: %d ops in %v (%.0f ops/s), %d backpressure rejections\n",
+		opCount.Load(), elapsed.Round(time.Millisecond),
+		float64(opCount.Load())/elapsed.Seconds(), rejected.Load())
+	if *quiet {
+		return
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for tn := 0; tn < *tenants; tn++ {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/load%d/stats", *addr, tn))
+		if err != nil {
+			log.Printf("stats tenant %d: %v", tn, err)
+			continue
+		}
+		var st dlzd.StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			log.Printf("stats tenant %d: %v", tn, err)
+			continue
+		}
+		want := enqueued[tn].Load() - dequeued[tn].Load()
+		verdict := "OK"
+		// With all sessions closed the published length must match the
+		// client ledger exactly; residual leases (another client's) would
+		// show up as buffered state.
+		if int64(st.QueueLen)+int64(st.BufferedEnqueues)+int64(st.PrefetchedDequeues) != want ||
+			st.CounterExact+st.BufferedCounterWeight != deltaSums[tn].Load() {
+			verdict = "MISMATCH"
+		}
+		fmt.Printf("  tenant load%d: queue=%d (ledger %d) counter=%d (ledger %d) leases=%d quota=%d [%s]\n",
+			tn, st.QueueLen, want, st.CounterExact, deltaSums[tn].Load(), st.Leases, st.QuotaUsed, verdict)
+	}
+}

@@ -1,0 +1,87 @@
+// Command dlzd runs the multi-tenant relaxed-structure daemon: the dlzd
+// package's HTTP/JSON server on a listening socket, with the idle-lease
+// janitor running and a graceful shutdown path that flushes every lease
+// (so no buffered operation is lost on SIGINT/SIGTERM).
+//
+// Usage:
+//
+//	dlzd -addr :8377 -queues 64 -batch 8 -stickiness 16
+//
+// Drive it with cmd/dlzd-load; scrape GET /metrics for the elision,
+// spin-backoff and sampler-reroll counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/dlzd"
+	"repro/internal/cpq"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8377", "listen address")
+		queues      = flag.Int("queues", 64, "m: queues/counter shards per tenant")
+		backingName = flag.String("backing", cpq.BackingBinary.String(), "per-queue backing structure")
+		capacity    = flag.Int("capacity", 1024, "per-queue preallocation hint")
+		choices     = flag.Int("choices", 2, "d: random choices per dequeue/increment")
+		stickiness  = flag.Int("stickiness", 16, "s: sticky-choice window")
+		batch       = flag.Int("batch", 8, "k: handle batch size")
+		affinity    = flag.Float64("affinity", 0.5, "shard-affinity bias in [0,1]")
+		maxTenants  = flag.Int("max-tenants", 64, "tenant namespace cap")
+		maxInflight = flag.Int("max-inflight", 256, "per-tenant in-flight request budget (0 = unlimited)")
+		quotaOps    = flag.Uint64("quota-ops", 0, "per-tenant lifetime operation quota (0 = unlimited)")
+		idle        = flag.Duration("idle-timeout", 30*time.Second, "lease idle expiry (0 = never)")
+		seed        = flag.Uint64("seed", 1, "structure/handle seed sequence origin")
+	)
+	flag.Parse()
+
+	backing, err := cpq.ParseBacking(*backingName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv := dlzd.New(dlzd.Config{
+		Queues:      *queues,
+		Backing:     backing,
+		Capacity:    *capacity,
+		Choices:     *choices,
+		Stickiness:  *stickiness,
+		Batch:       *batch,
+		Affinity:    *affinity,
+		MaxTenants:  *maxTenants,
+		MaxInFlight: *maxInflight,
+		QuotaOps:    *quotaOps,
+		IdleTimeout: *idle,
+		Seed:        *seed,
+	})
+	stopJanitor := srv.StartJanitor(0)
+	defer stopJanitor()
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		log.Printf("dlzd: shutting down, flushing leases")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx) // stop accepting, drain in-flight handlers
+		srv.Close()          // flush and retire every lease
+	}()
+
+	log.Printf("dlzd: listening on %s (m=%d backing=%s batch=%d stickiness=%d affinity=%.2f)",
+		*addr, *queues, backing, *batch, *stickiness, *affinity)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -43,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/benchfmt"
 	"repro/internal/core"
@@ -51,6 +53,43 @@ import (
 	"repro/internal/harness"
 	"repro/internal/quality"
 )
+
+// The two usage lines, mirrored from the package comment; printed with every
+// flag-validation failure so a bad invocation in a script log is
+// self-explaining.
+const usageLines = "usage: quality [-m N] [-incs N] [-samples N] [-choices d] [-stickiness s] [-batch k] [-affinity a] [-csv] [-seed n]\n" +
+	"       quality -queue [-m N] [-ops N] [-choices d] [-stickiness s] [-batch k] [-affinity a] [-backing name] [-lockedtop] [-csv] [-seed n]"
+
+// queueOnlyFlags and counterOnlyFlags partition the mode-specific flags;
+// everything else is shared between the two modes.
+var (
+	queueOnlyFlags   = []string{"backing", "lockedtop", "ops"}
+	counterOnlyFlags = []string{"incs", "samples"}
+)
+
+// validateModeFlags rejects explicitly-set flags that the selected mode
+// ignores. Before this check a counter run invoked with, say, -backing dary
+// silently measured the default configuration instead — the worst kind of
+// CLI bug for a tool whose output gates scripts. set holds the flag names
+// the command line actually mentioned (flag.Visit), so defaults never trip
+// the check.
+func validateModeFlags(queue bool, set map[string]bool) error {
+	wrong, mode, kind := queueOnlyFlags, "counter mode (without -queue)", "queue-only"
+	if queue {
+		wrong, mode, kind = counterOnlyFlags, "-queue mode", "counter-only"
+	}
+	var bad []string
+	for _, name := range wrong {
+		if set[name] {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("quality: %s flag(s) %s invalid in %s", kind, strings.Join(bad, " "), mode)
+}
 
 func main() {
 	m := flag.Int("m", 64, "number of counters (or queues with -queue)")
@@ -67,6 +106,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of markdown")
 	seed := flag.Uint64("seed", 7, "PRNG seed")
 	flag.Parse()
+
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if err := validateModeFlags(*queue, setFlags); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, usageLines)
+		os.Exit(2)
+	}
 
 	if *m < 1 {
 		fmt.Fprintln(os.Stderr, "quality: -m must be >= 1")

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateModeFlags pins the mode/flag compatibility matrix: every
+// mode-specific flag is rejected (with the offending flag named) when set in
+// the other mode, shared flags pass in both modes, and unset flags never
+// trip the check even though their mode-specific defaults exist.
+func TestValidateModeFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		queue   bool
+		set     map[string]bool
+		wantErr string // "" = valid; otherwise a required substring
+	}{
+		{"counter defaults", false, set(), ""},
+		{"queue defaults", true, set("queue"), ""},
+		{"counter own flags", false, set("m", "incs", "samples", "choices", "stickiness", "batch", "affinity", "csv", "seed"), ""},
+		{"queue own flags", true, set("queue", "m", "ops", "backing", "lockedtop", "choices", "stickiness", "batch", "affinity", "csv", "seed"), ""},
+		{"backing without -queue", false, set("backing"), "-backing"},
+		{"lockedtop without -queue", false, set("lockedtop"), "-lockedtop"},
+		{"ops without -queue", false, set("ops"), "-ops"},
+		{"incs with -queue", true, set("queue", "incs"), "-incs"},
+		{"samples with -queue", true, set("queue", "samples"), "-samples"},
+		{"several bad queue flags listed", false, set("ops", "backing", "lockedtop"), "-backing -lockedtop -ops"},
+		{"several bad counter flags listed", true, set("queue", "samples", "incs"), "-incs -samples"},
+		{"mixed good and bad", false, set("m", "choices", "backing"), "-backing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateModeFlags(tc.queue, tc.set)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			mode := "counter mode"
+			if tc.queue {
+				mode = "-queue mode"
+			}
+			if !strings.Contains(err.Error(), mode) {
+				t.Fatalf("error %q does not name the mode %q", err, mode)
+			}
+		})
+	}
+}

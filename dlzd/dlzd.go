@@ -1,0 +1,457 @@
+// Package dlzd is the multi-tenant relaxed-structure daemon: an HTTP/JSON
+// front end that serves the repository's distributionally linearizable
+// MultiQueue and MultiCounter to network clients — the "millions of users"
+// direction of ROADMAP.md, with the paper's per-thread handle discipline
+// mapped onto session leases (DESIGN.md §8).
+//
+// Each tenant namespace owns one dlz.MultiQueue and one dlz.MultiCounter
+// (created on first use, bounded by Config.MaxTenants). Clients carry a
+// session token; the daemon leases a handle pair per token and keeps it
+// across requests, so the sticky d-choice sampler, the shard-affine home
+// stripe and the batch buffers survive request boundaries exactly as they
+// survive operation boundaries in-process — which is what preserves the
+// paper's distributional argument under request traffic. Leases are flushed
+// and retired on explicit session close or idle expiry (the janitor), riding
+// the handle Close contract so an abandoned connection can never strand
+// buffered elements.
+//
+// The wire batch API (enqueue-batch, delete-min-up-to, counter/add-batch)
+// rides the zero-alloc AddBatch/DeleteMinUpTo fast path end-to-end: wire
+// batches land in the leased handle's fixed buffers and publish in Batch-size
+// lumps with one lock acquisition each. Backpressure is a bounded per-tenant
+// in-flight budget (429 on overflow); per-tenant quotas are metered by a
+// MultiCounter themselves. GET /metrics exports the publication-elision,
+// spin-backoff and sampler-reroll counters the internals already maintain.
+//
+// Run it with cmd/dlzd; drive it with cmd/dlzd-load.
+package dlzd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cpq"
+)
+
+// MaxWireBatch bounds the item count of a single wire request (enqueue
+// items, dequeue max, counter deltas), keeping one request's handler time
+// and response size bounded regardless of client behavior.
+const MaxWireBatch = 4096
+
+// Config configures New. The zero value of every optional field selects a
+// serviceable default; Queues is the only field without one that matters
+// (it defaults to 64).
+type Config struct {
+	// Queues is m for each tenant's MultiQueue and MultiCounter (default
+	// 64). For the paper's guarantees it should be a large constant multiple
+	// of the expected concurrent session count per tenant.
+	Queues int
+	// Backing selects the per-queue sequential structure (default binary;
+	// cpq.BackingDAry is the fastest for the batched wire path).
+	Backing cpq.Backing
+	// Capacity is the per-queue preallocation hint (default 1024).
+	Capacity int
+	// Choices, Stickiness, Batch and Affinity configure the fast path of
+	// every tenant structure, with the same semantics and defaults as
+	// dlz.MultiQueueConfig / dlz.MultiCounterConfig.
+	Choices    int
+	Stickiness int
+	Batch      int
+	Affinity   float64
+	// MaxTenants bounds the number of live namespaces (default 64); further
+	// tenant names are rejected with 403.
+	MaxTenants int
+	// MaxInFlight bounds the number of requests concurrently inside one
+	// tenant's handlers — the backpressure budget; overflow is rejected
+	// with 429. 0 means unlimited.
+	MaxInFlight int
+	// QuotaOps caps the total operations (enqueued items + dequeued items +
+	// counter deltas) a tenant may admit over its lifetime, metered by a
+	// per-tenant quota MultiCounter; exhaustion is rejected with 429.
+	// 0 means unlimited.
+	QuotaOps uint64
+	// IdleTimeout is the lease idle expiry: a session untouched for this
+	// long is flushed and retired by the janitor (StartJanitor) or by an
+	// explicit ExpireIdle sweep. 0 disables time-based expiry (leases then
+	// live until session close or server Close).
+	IdleTimeout time.Duration
+	// Seed feeds the structure and handle seed sequence (default 1).
+	Seed uint64
+}
+
+// Server is the daemon: an http.Handler serving the wire API plus the
+// lease-lifecycle entry points the binary and the tests drive directly.
+// Create with New.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex // guards tenants
+	tenants map[string]*tenant
+
+	seeds  atomic.Uint64
+	closed atomic.Bool
+}
+
+// New returns a Server with cfg's zero values normalized to defaults. The
+// relaxed-structure configuration is validated eagerly (panicking like the
+// dlz constructors) so a misconfigured daemon fails at startup, not at first
+// request.
+func New(cfg Config) *Server {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 64
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1024
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Choices < 0 {
+		panic("dlzd: Config.Choices must be >= 0")
+	}
+	if !(cfg.Affinity >= 0 && cfg.Affinity <= 1) { // rejects NaN too
+		panic("dlzd: Config.Affinity must be in [0, 1]")
+	}
+	s := &Server{cfg: cfg, tenants: map[string]*tenant{}}
+	s.seeds.Store(cfg.Seed)
+	return s
+}
+
+// nextSeed returns the next handle/structure seed. Seeds are distinct, which
+// is all the per-goroutine generators require.
+func (s *Server) nextSeed() uint64 { return s.seeds.Add(1) }
+
+// Config returns the server's normalized configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// tenant returns the named tenant, creating it on first use; ok is false
+// when the tenant does not exist and the MaxTenants budget refuses a new
+// one.
+func (s *Server) tenant(name string) (*tenant, bool) {
+	s.mu.RLock()
+	t, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if ok {
+		return t, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok = s.tenants[name]; ok {
+		return t, true
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, false
+	}
+	t = newTenant(name, s)
+	s.tenants[name] = t
+	return t, true
+}
+
+// tenantSnapshot returns the live tenants (for sweeps and metrics).
+func (s *Server) tenantSnapshot() []*tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// ExpireIdle flushes and retires every lease across all tenants whose last
+// use is before cutoff, returning the number expired. The janitor calls it
+// on a timer; tests call it directly for deterministic expiry.
+func (s *Server) ExpireIdle(cutoff time.Time) int {
+	n := 0
+	for _, t := range s.tenantSnapshot() {
+		n += t.expireIdle(cutoff)
+	}
+	return n
+}
+
+// StartJanitor launches the idle-expiry loop (every interval, expire leases
+// idle for Config.IdleTimeout) and returns its stop function. With
+// IdleTimeout 0 it returns a no-op stop without launching anything.
+// interval <= 0 defaults to IdleTimeout / 4.
+func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
+	if s.cfg.IdleTimeout <= 0 {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = s.cfg.IdleTimeout / 4
+		if interval <= 0 {
+			interval = time.Second
+		}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s.ExpireIdle(time.Now().Add(-s.cfg.IdleTimeout))
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Close flushes and retires every lease and marks the server closed (further
+// requests get 503). The final-flush half of the conservation contract: after
+// Close every buffered element has been published, so quiescent audits
+// (tenant stats, direct structure reads) are exact.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	for _, t := range s.tenantSnapshot() {
+		t.expireIdle(time.Now().Add(time.Hour))
+	}
+}
+
+// ServeHTTP routes the wire API. The path grammar is Go 1.21-compatible
+// manual parsing: /healthz, /metrics, and /v1/{tenant}/{op} where op is one
+// of enqueue-batch, delete-min-up-to, counter/add-batch, counter/read,
+// session/close, stats.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server closed")
+		return
+	}
+	switch {
+	case r.URL.Path == "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	case r.URL.Path == "/metrics":
+		s.serveMetrics(w)
+	case strings.HasPrefix(r.URL.Path, "/v1/"):
+		s.serveTenantOp(w, r, strings.TrimPrefix(r.URL.Path, "/v1/"))
+	default:
+		writeError(w, http.StatusNotFound, "unknown path")
+	}
+}
+
+// validTenantName bounds tenant names to a filesystem/metrics-safe alphabet.
+func validTenantName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// serveTenantOp dispatches one /v1/{tenant}/{op} request through the
+// backpressure gate.
+func (s *Server) serveTenantOp(w http.ResponseWriter, r *http.Request, rest string) {
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || !validTenantName(name) {
+		writeError(w, http.StatusNotFound, "bad tenant path")
+		return
+	}
+	t, ok := s.tenant(name)
+	if !ok {
+		writeError(w, http.StatusForbidden, "tenant limit reached")
+		return
+	}
+	if !t.acquire() {
+		writeError(w, http.StatusTooManyRequests, "tenant in-flight budget exceeded")
+		return
+	}
+	defer t.release()
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	switch op {
+	case "enqueue-batch":
+		s.handleEnqueueBatch(w, r, t)
+	case "delete-min-up-to":
+		s.handleDeleteMinUpTo(w, r, t)
+	case "counter/add-batch":
+		s.handleCounterAdd(w, r, t)
+	case "counter/read":
+		s.handleCounterRead(w, r, t)
+	case "session/close":
+		s.handleSessionClose(w, r, t)
+	case "stats":
+		s.handleStats(w, r, t)
+	default:
+		writeError(w, http.StatusNotFound, "unknown operation")
+	}
+}
+
+// decode parses a JSON body into v, writing a 400/405 on failure and
+// reporting whether the handler should continue.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+func (s *Server) handleEnqueueBatch(w http.ResponseWriter, r *http.Request, t *tenant) {
+	var req EnqueueBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, "session token required")
+		return
+	}
+	if len(req.Items) == 0 || len(req.Items) > MaxWireBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("items must number in [1, %d]", MaxWireBatch))
+		return
+	}
+	l := t.lease(req.Session)
+	defer l.done()
+	if !t.admitQuota(l, len(req.Items)) {
+		writeError(w, http.StatusTooManyRequests, "tenant operation quota exhausted")
+		return
+	}
+	for _, it := range req.Items {
+		l.mqh.EnqueuePriority(it.Priority, it.Value)
+	}
+	t.opsEnqueued.Add(uint64(len(req.Items)))
+	writeJSON(w, EnqueueBatchResponse{Enqueued: len(req.Items), Buffered: l.mqh.Buffered()})
+}
+
+func (s *Server) handleDeleteMinUpTo(w http.ResponseWriter, r *http.Request, t *tenant) {
+	var req DeleteMinRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, "session token required")
+		return
+	}
+	if req.Max < 1 || req.Max > MaxWireBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("max must be in [1, %d]", MaxWireBatch))
+		return
+	}
+	l := t.lease(req.Session)
+	defer l.done()
+	if !t.admitQuota(l, req.Max) {
+		writeError(w, http.StatusTooManyRequests, "tenant operation quota exhausted")
+		return
+	}
+	items := make([]WireItem, 0, req.Max)
+	for len(items) < req.Max {
+		it, ok := l.mqh.Dequeue()
+		if !ok {
+			break
+		}
+		items = append(items, WireItem{Priority: it.Priority, Value: it.Value})
+	}
+	t.opsDequeued.Add(uint64(len(items)))
+	writeJSON(w, DeleteMinResponse{Items: items})
+}
+
+func (s *Server) handleCounterAdd(w http.ResponseWriter, r *http.Request, t *tenant) {
+	var req CounterAddRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, "session token required")
+		return
+	}
+	if len(req.Deltas) == 0 || len(req.Deltas) > MaxWireBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("deltas must number in [1, %d]", MaxWireBatch))
+		return
+	}
+	l := t.lease(req.Session)
+	defer l.done()
+	if !t.admitQuota(l, len(req.Deltas)) {
+		writeError(w, http.StatusTooManyRequests, "tenant operation quota exhausted")
+		return
+	}
+	for _, d := range req.Deltas {
+		l.ch.Add(d)
+	}
+	t.opsCounterAdds.Add(uint64(len(req.Deltas)))
+	writeJSON(w, CounterAddResponse{
+		Added:          len(req.Deltas),
+		BufferedOps:    l.ch.Buffered(),
+		BufferedWeight: l.ch.BufferedWeight(),
+	})
+}
+
+func (s *Server) handleCounterRead(w http.ResponseWriter, r *http.Request, t *tenant) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	session := r.URL.Query().Get("session")
+	if session == "" {
+		writeError(w, http.StatusBadRequest, "session query parameter required")
+		return
+	}
+	l := t.lease(session)
+	defer l.done()
+	writeJSON(w, CounterReadResponse{Value: l.ch.Read()})
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request, t *tenant) {
+	var req SessionCloseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, "session token required")
+		return
+	}
+	writeJSON(w, SessionCloseResponse{Closed: t.closeSession(req.Session)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	agg := t.liveLeaseStats()
+	writeJSON(w, StatsResponse{
+		Tenant:                t.name,
+		QueueLen:              t.mq.Len(),
+		CounterExact:          t.mc.Exact(),
+		QuotaUsed:             t.quota.Exact(),
+		Leases:                agg.leases,
+		BufferedEnqueues:      agg.bufferedEnqueues,
+		PrefetchedDequeues:    agg.prefetchedDequeues,
+		BufferedCounterOps:    agg.bufferedCounterOps,
+		BufferedCounterWeight: agg.bufferedCounterWeight,
+	})
+}

@@ -1,0 +1,112 @@
+package dlzd
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// serveMetrics writes the Prometheus-style text exposition for GET /metrics.
+//
+// The aggregate lines are emitted unconditionally — even with zero tenants —
+// so monitoring (and the CI smoke check) can assert their presence without
+// priming traffic first. Per-tenant lines carry a tenant label and are sorted
+// by tenant name for stable scrapes.
+//
+// The three internals counters the issue calls out surface here:
+//
+//   - dlzd_queue_elisions_total: publication elisions in the lock-free
+//     top-word cache (cpq covered-insert and empty-pop fast paths);
+//   - dlzd_spin_backoff_total: slow-path lock acquisitions, i.e. acquires
+//     that engaged the adaptive spin/yield backoff schedule;
+//   - dlzd_sampler_rerolls_total: sticky d-choice sampler rerolls, live
+//     leases plus rerolls harvested from retired leases.
+func (s *Server) serveMetrics(w http.ResponseWriter) {
+	tenants := s.tenantSnapshot()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	type tenantRow struct {
+		t   *tenant
+		mq  MQStatsView
+		agg leaseAggregate
+	}
+	var (
+		rows                                     []tenantRow
+		elisions, publications, backoff, rerolls uint64
+		leases                                   int
+	)
+	for _, t := range tenants {
+		st := t.mq.Stats()
+		agg := t.liveLeaseStats()
+		row := tenantRow{
+			t:   t,
+			mq:  MQStatsView{Elisions: st.Elisions, Publications: st.Publications, LockContended: st.LockContended},
+			agg: agg,
+		}
+		rows = append(rows, row)
+		elisions += st.Elisions
+		publications += st.Publications
+		backoff += st.LockContended
+		rerolls += agg.rerolls + t.retiredRerolls.Load()
+		leases += agg.leases
+	}
+
+	var b strings.Builder
+	counter := func(name, help string, total uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, total)
+	}
+	gauge := func(name, help string, total int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, total)
+	}
+	perTenant := func(name string, value func(tenantRow) uint64) {
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, r.t.name, value(r))
+		}
+	}
+
+	counter("dlzd_queue_elisions_total", "Top-word cache publication elisions across tenant MultiQueues.", elisions)
+	perTenant("dlzd_queue_elisions_total", func(r tenantRow) uint64 { return r.mq.Elisions })
+	counter("dlzd_queue_publications_total", "Top-word cache publications across tenant MultiQueues.", publications)
+	perTenant("dlzd_queue_publications_total", func(r tenantRow) uint64 { return r.mq.Publications })
+	counter("dlzd_spin_backoff_total", "Slow-path lock acquisitions that engaged the adaptive spin backoff.", backoff)
+	perTenant("dlzd_spin_backoff_total", func(r tenantRow) uint64 { return r.mq.LockContended })
+	counter("dlzd_sampler_rerolls_total", "Sticky d-choice sampler rerolls (live leases plus retired).", rerolls)
+	perTenant("dlzd_sampler_rerolls_total", func(r tenantRow) uint64 { return r.agg.rerolls + r.t.retiredRerolls.Load() })
+
+	gauge("dlzd_leases_active", "Live session leases.", leases)
+	perTenant("dlzd_leases_active", func(r tenantRow) uint64 { return uint64(r.agg.leases) })
+	sumCounter := func(name, help string, value func(tenantRow) uint64) {
+		var total uint64
+		for _, r := range rows {
+			total += value(r)
+		}
+		counter(name, help, total)
+		perTenant(name, value)
+	}
+	sumCounter("dlzd_leases_opened_total", "Session leases ever opened.",
+		func(r tenantRow) uint64 { return r.t.leasesOpened.Load() })
+	sumCounter("dlzd_leases_expired_total", "Session leases retired by idle expiry.",
+		func(r tenantRow) uint64 { return r.t.leasesExpired.Load() })
+	sumCounter("dlzd_rejected_inflight_total", "Requests rejected by the in-flight backpressure budget.",
+		func(r tenantRow) uint64 { return r.t.rejectedInflite.Load() })
+	sumCounter("dlzd_rejected_quota_total", "Requests rejected by the tenant operation quota.",
+		func(r tenantRow) uint64 { return r.t.rejectedQuota.Load() })
+	sumCounter("dlzd_ops_enqueued_total", "Elements accepted by enqueue-batch.",
+		func(r tenantRow) uint64 { return r.t.opsEnqueued.Load() })
+	sumCounter("dlzd_ops_dequeued_total", "Elements returned by delete-min-up-to.",
+		func(r tenantRow) uint64 { return r.t.opsDequeued.Load() })
+	sumCounter("dlzd_ops_counter_adds_total", "Deltas accepted by counter/add-batch.",
+		func(r tenantRow) uint64 { return r.t.opsCounterAdds.Load() })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// MQStatsView mirrors the core MultiQueue stats triple for metrics assembly
+// without importing the internal package into every metrics consumer.
+type MQStatsView struct {
+	Elisions      uint64
+	Publications  uint64
+	LockContended uint64
+}

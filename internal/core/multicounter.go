@@ -248,6 +248,10 @@ type Handle struct {
 	// Batching state: buffered operation count and summed weight.
 	bufOps    int
 	bufWeight uint64
+
+	// closed marks a handle retired by Close: its buffer is drained and
+	// every further update is a programming error.
+	closed bool
 }
 
 // NewHandle returns a handle whose random stream is derived from seed,
@@ -274,6 +278,9 @@ func (h *Handle) Increment() { h.Add(1) }
 // sticky/batched path as Increment (the weighted extension; see
 // MultiCounter.Add for the analysis caveats).
 func (h *Handle) Add(delta uint64) {
+	if h.closed {
+		panic("core: operation on closed Handle")
+	}
 	if h.c.batch <= 1 {
 		i := h.smp.Best(h.r, 1, h.c.shards.Read)
 		h.smp.Charge(1)
@@ -314,6 +321,30 @@ func (h *Handle) Flush() {
 // handle's own buffered increments are not yet reflected; Flush first if the
 // caller needs them counted.
 func (h *Handle) Read() uint64 { return h.c.Read(h.r) }
+
+// Rerolls returns the number of Sampler.Reroll requests over this handle's
+// lifetime. The counter path never rerolls on its own (there is no
+// empty/contended outcome to abandon), so this is zero today; it exists so
+// the two handle types expose the same observability surface.
+func (h *Handle) Rerolls() uint64 { return h.smp.Rerolls() }
+
+// Closed reports whether Close has retired this handle.
+func (h *Handle) Closed() bool { return h.closed }
+
+// Close retires the handle: buffered increments are flushed with one final
+// d-choice publish and the handle is invalidated. After Close, Buffered and
+// BufferedWeight are zero and any further Increment/Add panics; closing an
+// already-closed handle is a no-op. Owners that cannot guarantee a final
+// Flush (connection handlers, pools, lease managers like dlzd) must Close
+// handles they abandon, or the counter silently loses the buffered weight —
+// the abandoned-handle bug this contract fixes.
+func (h *Handle) Close() {
+	if h.closed {
+		return
+	}
+	h.Flush()
+	h.closed = true
+}
 
 // Counter returns the underlying MultiCounter.
 func (h *Handle) Counter() *MultiCounter { return h.c }

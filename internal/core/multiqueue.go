@@ -188,6 +188,33 @@ func (q *MultiQueue) Len() int {
 	return n
 }
 
+// MQStats aggregates the per-queue event counters of cpq.QueueStats across
+// all m internal queues — the publication-elision and lock-contention
+// signals dlzd's /metrics exports per tenant. Counters are monotonic; the
+// snapshot is racy under concurrency, which monitoring tolerates.
+type MQStats struct {
+	// Elisions counts critical sections that skipped the top-word publish
+	// entirely (covered inserts, deletes on published-empty queues).
+	Elisions uint64
+	// Publications counts critical sections that republished a top word.
+	Publications uint64
+	// LockContended counts blocking lock acquisitions that entered the
+	// spin-backoff slow path.
+	LockContended uint64
+}
+
+// Stats sums the internal queues' event counters without taking any locks.
+func (q *MultiQueue) Stats() MQStats {
+	var s MQStats
+	for _, pq := range q.qs {
+		qs := pq.Stats()
+		s.Elisions += qs.Elisions
+		s.Publications += qs.Publications
+		s.LockContended += qs.LockContended
+	}
+	return s
+}
+
 // Sizes copies the per-queue element counts into dst (len must equal M) —
 // the queue counterpart of MultiCounter.Snapshot, used to observe how evenly
 // the random-insert rule spreads elements. Exact at quiescence.
@@ -230,6 +257,10 @@ type MQHandle struct {
 	// Block-reserved clock stamps (batched mode over a Tick clock).
 	stampNext uint64
 	stampLeft int
+
+	// closed marks a handle retired by Close: its buffers are drained and
+	// every further operation is a programming error.
+	closed bool
 }
 
 // NewHandle returns a per-goroutine handle seeded with seed, inheriting the
@@ -266,6 +297,46 @@ func (h *MQHandle) ID() uint64 { return h.id }
 // Buffered returns the number of enqueued elements held in this handle's
 // insert buffer, not yet visible to other handles. Zero unless Batch > 1.
 func (h *MQHandle) Buffered() int { return len(h.inBuf) }
+
+// Rerolls returns the number of empty/contended dequeue outcomes that
+// requested fresh sticky candidates (Sampler.Reroll) over this handle's
+// lifetime — the sampler-pressure signal dlzd's /metrics aggregates.
+func (h *MQHandle) Rerolls() uint64 { return h.deq.Rerolls() }
+
+// Closed reports whether Close has retired this handle.
+func (h *MQHandle) Closed() bool { return h.closed }
+
+// Close retires the handle: buffered inserts are flushed to the shared
+// structure, unconsumed prefetched elements are returned to it (they were
+// already removed by a DeleteMinUpTo refill and would otherwise be lost
+// with the handle — the abandoned-handle bug this contract fixes), and the
+// handle is invalidated. After Close, Buffered and Prefetched are zero and
+// any further operation panics; closing an already-closed handle is a no-op.
+// Owners that cannot guarantee a final Flush (connection handlers, pools,
+// lease managers like dlzd) must Close handles they abandon, or the
+// structure silently loses the buffered elements.
+func (h *MQHandle) Close() {
+	if h.closed {
+		return
+	}
+	h.Flush()
+	if rest := h.outBuf[h.outPos:]; len(rest) > 0 {
+		// Return the prefetch remainder through the same uniform sticky
+		// insert rule as an enqueue batch: these elements are logically
+		// still queued, they were only staged for this handle's consumption.
+		h.q.qs[h.enqTarget(len(rest))].AddBatch(rest)
+	}
+	h.outBuf, h.outPos = h.outBuf[:0], 0
+	h.closed = true
+}
+
+// checkOpen panics when the handle has been closed; every mutating
+// entry point calls it (one predictable branch on the hot path).
+func (h *MQHandle) checkOpen() {
+	if h.closed {
+		panic("core: operation on closed MQHandle")
+	}
+}
 
 // Prefetched returns the number of already-dequeued elements this handle
 // holds and will return from upcoming Dequeue calls. Zero unless Batch > 1.
@@ -340,6 +411,7 @@ func (h *MQHandle) insert(priority, value uint64) {
 // Tick clock. The stamp is taken at call time, so batching delays visibility
 // but never reorders a handle's own elements.
 func (h *MQHandle) Enqueue(value uint64) uint64 {
+	h.checkOpen()
 	p := h.stamp()
 	h.insert(p, value)
 	return p
@@ -365,6 +437,7 @@ func (h *MQHandle) stamp() uint64 {
 // EnqueuePriority inserts with an explicit priority (relaxed priority-queue
 // mode), bypassing the clock but using the same sticky/batched insert path.
 func (h *MQHandle) EnqueuePriority(priority, value uint64) {
+	h.checkOpen()
 	h.insert(priority, value)
 }
 
@@ -386,6 +459,7 @@ func (h *MQHandle) EnqueuePriority(priority, value uint64) {
 // run beyond the first element is served from the handle's prefetch buffer
 // by subsequent calls — one lock acquisition per Batch elements.
 func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
+	h.checkOpen()
 	if h.outPos < len(h.outBuf) {
 		it = h.outBuf[h.outPos]
 		h.outPos++
@@ -446,6 +520,7 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 	if d < 1 {
 		panic("core: DequeueD needs d >= 1")
 	}
+	h.checkOpen()
 	if h.outPos < len(h.outBuf) {
 		it = h.outBuf[h.outPos]
 		h.outPos++
@@ -496,6 +571,7 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 // giving up attempts a non-blocking flush of its own insert buffer
 // (TryAddBatch to random queues) and retries the budget once.
 func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
+	h.checkOpen()
 	if h.outPos < len(h.outBuf) {
 		it = h.outBuf[h.outPos]
 		h.outPos++

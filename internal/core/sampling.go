@@ -37,12 +37,13 @@ const affinityRotateEvery = 16
 // goroutine that owns the enclosing handle, with that handle's private
 // generator.
 type Sampler struct {
-	m      int
-	d      int
-	window int
-	left   int
-	reroll bool
-	cand   []int
+	m       int
+	d       int
+	window  int
+	left    int
+	reroll  bool
+	rerolls uint64
+	cand    []int
 
 	// Stripe (affinity) state. width == 0 selects the uniform draw; width
 	// >= d is the home-stripe size w, base its current start on the [0, m)
@@ -281,4 +282,13 @@ func (s *Sampler) Expire() { s.left = 0 }
 // — rerolling charges nothing but also earns nothing. The queue handles use
 // it on every empty/contended outcome; the semantics are pinned by
 // TestSamplerRerollKeepsRemainingBudget.
-func (s *Sampler) Reroll() { s.reroll = true }
+func (s *Sampler) Reroll() {
+	s.reroll = true
+	s.rerolls++
+}
+
+// Rerolls returns the number of Reroll requests since creation — the
+// empty/contended-outcome pressure signal the daemon's /metrics surfaces.
+// Handle-local plain state: read it from the owning goroutine (or with the
+// enclosing lease held), like every other Sampler method.
+func (s *Sampler) Rerolls() uint64 { return s.rerolls }

@@ -32,6 +32,7 @@ package cpq
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/heap"
 	"repro/internal/pad"
@@ -232,6 +233,14 @@ type Queue struct {
 	// priorities above 2^TopPrioBits are in play.
 	pubMin   uint64
 	pubEmpty bool
+	// elisions/publications count the publication protocol's two outcomes:
+	// critical sections that proved the word unchanged and skipped the
+	// Begin/Publish pair, and sections that republished. Incremented only
+	// while the lock is held — the line is already exclusive, so the atomic
+	// add costs a handful of cycles — and read lock-free by Stats for
+	// monitoring (dlzd's /metrics).
+	elisions     atomic.Uint64
+	publications atomic.Uint64
 }
 
 // New returns an empty queue with the given backing and capacity hint.
@@ -294,6 +303,7 @@ func (q *Queue) publishTop() {
 func (q *Queue) publishTopItem(it heap.Item, ok bool) {
 	q.pubMin, q.pubEmpty = it.Priority, !ok
 	q.top.Publish(topPayload(it.Priority, !ok))
+	q.publications.Add(1)
 }
 
 // addLocked inserts one item under the held lock with the publication
@@ -302,6 +312,7 @@ func (q *Queue) publishTopItem(it heap.Item, ok bool) {
 // so the elision rule lives in one place.
 func (q *Queue) addLocked(priority, value uint64) {
 	if q.topCovers(priority) {
+		q.elisions.Add(1)
 		q.pq.Push(heap.Item{Priority: priority, Value: value})
 		return
 	}
@@ -314,6 +325,7 @@ func (q *Queue) addLocked(priority, value uint64) {
 // publication protocol applied, dispatching through pushBatchLocked.
 func (q *Queue) addBatchLocked(items []heap.Item) {
 	if q.topCovers(batchMin(items)) {
+		q.elisions.Add(1)
 		q.pushBatchLocked(items)
 		return
 	}
@@ -326,6 +338,7 @@ func (q *Queue) addBatchLocked(items []heap.Item) {
 // protocol applied: a published-empty queue elides the whole pair.
 func (q *Queue) popLocked() (heap.Item, bool) {
 	if q.pubEmpty {
+		q.elisions.Add(1)
 		return heap.Item{}, false
 	}
 	q.beginTop()
@@ -338,6 +351,7 @@ func (q *Queue) popLocked() (heap.Item, bool) {
 // publication protocol applied, dispatching through popUpToLocked.
 func (q *Queue) drainLocked(k int, dst []heap.Item) []heap.Item {
 	if q.pubEmpty {
+		q.elisions.Add(1)
 		return dst
 	}
 	q.beginTop()
@@ -531,6 +545,34 @@ func (q *Queue) Len() int {
 	n := q.pq.Len()
 	q.lock.Unlock()
 	return n
+}
+
+// QueueStats is a point-in-time snapshot of one queue's internal event
+// counters — the observability surface dlzd's /metrics aggregates per
+// tenant. All counters are monotonic since construction.
+type QueueStats struct {
+	// Elisions counts critical sections that proved the published top word
+	// unchanged and skipped the Begin/Publish pair entirely: covered inserts
+	// (batch minimum at or above the published minimum of a non-empty queue)
+	// and deletes on a published-empty queue. Steady-state monotone-stamp
+	// enqueues are almost all elisions (DESIGN.md §6).
+	Elisions uint64
+	// Publications counts critical sections that republished the top word.
+	Publications uint64
+	// LockContended counts blocking Lock acquisitions that found the lock
+	// held and entered the spin-backoff slow path (pad.SpinLock.Contended).
+	LockContended uint64
+}
+
+// Stats returns the queue's event counters without taking the lock. Each
+// counter is individually exact; the snapshot as a whole is racy under
+// concurrency, which monitoring tolerates.
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{
+		Elisions:      q.elisions.Load(),
+		Publications:  q.publications.Load(),
+		LockContended: q.lock.Contended(),
+	}
 }
 
 // LockForTest acquires the queue's lock without performing an operation and

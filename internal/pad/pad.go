@@ -155,7 +155,14 @@ func (s *Seq64) Publish(payload uint64) {
 // literature.
 type SpinLock struct {
 	state atomic.Uint32
-	_     [CacheLine - 4]byte
+	_     [4]byte
+	// contended counts Lock acquisitions that missed the TryLock fast path
+	// and entered the backoff slow path — the spin-backoff pressure signal
+	// monitoring surfaces (dlzd's /metrics). It shares the lock's padded
+	// line, so the slow-path increment touches no extra cache line, and the
+	// uncontended fast path never writes it.
+	contended atomic.Uint64
+	_         [CacheLine - 16]byte
 }
 
 // TryLock attempts to acquire the lock without blocking and reports whether
@@ -180,6 +187,7 @@ func (l *SpinLock) Lock() {
 }
 
 func (l *SpinLock) lockSlow() {
+	l.contended.Add(1)
 	var b Backoff
 	for {
 		for l.state.Load() != 0 {
@@ -205,6 +213,12 @@ func (l *SpinLock) Unlock() {
 
 // Locked reports whether the lock is currently held (racy; for stats only).
 func (l *SpinLock) Locked() bool { return l.state.Load() != 0 }
+
+// Contended returns the number of Lock calls that found the lock held and
+// entered the spin-backoff slow path since creation. TryLock refusals are
+// not counted — callers that re-draw on refusal already account for those
+// outcomes themselves (Sampler.Reroll). Monotonic; safe to read concurrently.
+func (l *SpinLock) Contended() uint64 { return l.contended.Load() }
 
 // Backoff is an adaptive spin-then-yield pause schedule for contended
 // retry loops: successive Pause calls double a bounded busy-wait (starting

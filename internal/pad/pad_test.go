@@ -280,6 +280,32 @@ func TestSpinLockContendedHandoff(t *testing.T) {
 	<-done
 }
 
+func TestSpinLockContendedCounter(t *testing.T) {
+	var l SpinLock
+	l.Lock()
+	l.Unlock()
+	if got := l.Contended(); got != 0 {
+		t.Fatalf("uncontended acquire must not count: Contended=%d", got)
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock on a free lock failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		l.Lock() // held by the main goroutine: must enter the slow path
+		l.Unlock()
+		close(done)
+	}()
+	for l.Contended() == 0 {
+		runtime.Gosched()
+	}
+	l.Unlock()
+	<-done
+	if got := l.Contended(); got != 1 {
+		t.Fatalf("exactly one acquire entered the slow path: Contended=%d", got)
+	}
+}
+
 func BenchmarkSpinLockUncontended(b *testing.B) {
 	var l SpinLock
 	for i := 0; i < b.N; i++ {
