@@ -239,7 +239,10 @@ func main() {
 				failed = true
 				continue
 			}
-			fmt.Printf("benchall: validate: %s ok (%s, schema %d)\n", path, bench, benchfmt.SchemaVersion)
+			// ValidateFile accepts MinSchemaVersion..SchemaVersion, so the
+			// file's own schema number may trail the current one.
+			fmt.Printf("benchall: validate: %s ok (%s, schema v%d..v%d accepted)\n",
+				path, bench, benchfmt.MinSchemaVersion, benchfmt.SchemaVersion)
 		}
 		if failed {
 			os.Exit(1)

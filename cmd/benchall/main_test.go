@@ -1,0 +1,89 @@
+package main
+
+import "testing"
+
+func windows(mops ...float64) []repWindow {
+	reps := make([]repWindow, len(mops))
+	for i, m := range mops {
+		reps[i] = repWindow{ops: int64(i + 1), mops: m}
+	}
+	return reps
+}
+
+// TestPickWindowBestOf pins the full run's estimator: the fastest window
+// wins regardless of position, shared-host noise being one-sided.
+func TestPickWindowBestOf(t *testing.T) {
+	cases := []struct {
+		name string
+		reps []repWindow
+		want float64
+	}{
+		{"max in middle", windows(1.0, 3.5, 2.0), 3.5},
+		{"max first", windows(4.0, 1.0, 2.0), 4.0},
+		{"max last", windows(1.0, 2.0, 7.25), 7.25},
+		{"single rep", windows(2.5), 2.5},
+		{"best-of-7 full protocol", windows(1, 2, 3, 9.5, 4, 5, 6), 9.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pickWindow(tc.reps, false); got.mops != tc.want {
+				t.Fatalf("pickWindow(best) = %v, want mops %v", got, tc.want)
+			}
+		})
+	}
+	// All-equal reps: any window is correct, but one of the inputs must come
+	// back verbatim (ops identifies the rep).
+	tie := windows(2.0, 2.0, 2.0)
+	if got := pickWindow(tie, false); got.mops != 2.0 || got.ops < 1 || got.ops > 3 {
+		t.Fatalf("tied best-of returned %v, not one of the inputs", got)
+	}
+}
+
+// TestPickWindowMedian pins the quick run's estimator: the median window by
+// mops, with the upper-middle element for even counts (index len/2 of the
+// sorted order), and no mutation of the caller's slice.
+func TestPickWindowMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		reps []repWindow
+		want float64
+	}{
+		{"median of 3 ignores outlier max", windows(1.0, 100.0, 2.0), 2.0},
+		{"median of 3 sorted input", windows(1.0, 2.0, 3.0), 2.0},
+		{"median of 3 reversed input", windows(3.0, 2.0, 1.0), 2.0},
+		{"even count takes upper middle", windows(4.0, 1.0, 3.0, 2.0), 3.0},
+		{"single rep", windows(5.0), 5.0},
+		{"ties collapse", windows(2.0, 2.0, 9.0), 2.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pickWindow(tc.reps, true); got.mops != tc.want {
+				t.Fatalf("pickWindow(median) = %v, want mops %v", got, tc.want)
+			}
+		})
+	}
+	reps := windows(3.0, 1.0, 2.0)
+	pickWindow(reps, true)
+	if reps[0].mops != 3.0 || reps[1].mops != 1.0 || reps[2].mops != 2.0 {
+		t.Fatalf("median estimator mutated the caller's reps: %v", reps)
+	}
+}
+
+// TestSweepParamsEstimatorWiring pins which estimator each leg runs: the
+// quick leg medians 3 short reps (the PR 6 delta-gate stabilization), the
+// full gated leg keeps best-of-7 for the queue sweep.
+func TestSweepParamsEstimatorWiring(t *testing.T) {
+	quick := quickParams(16, 2)
+	if !quick.medianReps || quick.mqReps != 3 || quick.mcReps != 3 {
+		t.Fatalf("quick leg: medianReps=%v mqReps=%d mcReps=%d, want median of 3",
+			quick.medianReps, quick.mqReps, quick.mcReps)
+	}
+	full := fullParams(16, 8)
+	if full.medianReps || full.mqReps != 7 {
+		t.Fatalf("full leg: medianReps=%v mqReps=%d, want best-of-7",
+			full.medianReps, full.mqReps)
+	}
+	if !full.gate || quick.gate {
+		t.Fatalf("gate wiring: full.gate=%v quick.gate=%v, want gated full leg only", full.gate, quick.gate)
+	}
+}

@@ -7,8 +7,8 @@ import (
 
 // TestValidateModeFlags pins the mode/flag compatibility matrix: every
 // mode-specific flag is rejected (with the offending flag named) when set in
-// the other mode, shared flags pass in both modes, and unset flags never
-// trip the check even though their mode-specific defaults exist.
+// a mode that ignores it, shared flags pass everywhere, and unset flags
+// never trip the check even though their mode-specific defaults exist.
 func TestValidateModeFlags(t *testing.T) {
 	set := func(names ...string) map[string]bool {
 		m := map[string]bool{}
@@ -19,26 +19,34 @@ func TestValidateModeFlags(t *testing.T) {
 	}
 	cases := []struct {
 		name    string
-		queue   bool
+		mode    string
 		set     map[string]bool
 		wantErr string // "" = valid; otherwise a required substring
 	}{
-		{"counter defaults", false, set(), ""},
-		{"queue defaults", true, set("queue"), ""},
-		{"counter own flags", false, set("m", "incs", "samples", "choices", "stickiness", "batch", "affinity", "csv", "seed"), ""},
-		{"queue own flags", true, set("queue", "m", "ops", "backing", "lockedtop", "choices", "stickiness", "batch", "affinity", "csv", "seed"), ""},
-		{"backing without -queue", false, set("backing"), "-backing"},
-		{"lockedtop without -queue", false, set("lockedtop"), "-lockedtop"},
-		{"ops without -queue", false, set("ops"), "-ops"},
-		{"incs with -queue", true, set("queue", "incs"), "-incs"},
-		{"samples with -queue", true, set("queue", "samples"), "-samples"},
-		{"several bad queue flags listed", false, set("ops", "backing", "lockedtop"), "-backing -lockedtop -ops"},
-		{"several bad counter flags listed", true, set("queue", "samples", "incs"), "-incs -samples"},
-		{"mixed good and bad", false, set("m", "choices", "backing"), "-backing"},
+		{"counter defaults", "counter", set(), ""},
+		{"queue defaults", "queue", set("queue"), ""},
+		{"mempool defaults", "mempool", set("mempool"), ""},
+		{"counter own flags", "counter", set("m", "incs", "samples", "choices", "stickiness", "batch", "affinity", "csv", "seed"), ""},
+		{"queue own flags", "queue", set("queue", "m", "ops", "backing", "lockedtop", "choices", "stickiness", "batch", "affinity", "csv", "seed"), ""},
+		{"mempool own flags", "mempool", set("mempool", "m", "backing", "txops", "senders", "theta", "popfrac", "cap", "choices", "stickiness", "batch", "csv", "seed"), ""},
+		{"backing without a queue-backed mode", "counter", set("backing"), "-backing"},
+		{"lockedtop without -queue", "counter", set("lockedtop"), "-lockedtop"},
+		{"ops without -queue", "counter", set("ops"), "-ops"},
+		{"txops without -mempool", "counter", set("txops"), "-txops"},
+		{"incs with -queue", "queue", set("queue", "incs"), "-incs"},
+		{"samples with -queue", "queue", set("queue", "samples"), "-samples"},
+		{"cap with -queue", "queue", set("queue", "cap"), "-cap"},
+		{"affinity with -mempool", "mempool", set("mempool", "affinity"), "-affinity"},
+		{"incs with -mempool", "mempool", set("mempool", "incs"), "-incs"},
+		{"lockedtop with -mempool", "mempool", set("mempool", "lockedtop"), "-lockedtop"},
+		{"backing with -mempool ok", "mempool", set("mempool", "backing"), ""},
+		{"several bad queue flags listed", "counter", set("ops", "backing", "lockedtop"), "-backing -lockedtop -ops"},
+		{"several bad counter flags listed", "queue", set("queue", "samples", "incs"), "-incs -samples"},
+		{"mixed good and bad", "counter", set("m", "choices", "backing"), "-backing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateModeFlags(tc.queue, tc.set)
+			err := validateModeFlags(tc.mode, tc.set)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("want valid, got %v", err)
@@ -52,8 +60,8 @@ func TestValidateModeFlags(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
 			}
 			mode := "counter mode"
-			if tc.queue {
-				mode = "-queue mode"
+			if tc.mode != "counter" {
+				mode = "-" + tc.mode + " mode"
 			}
 			if !strings.Contains(err.Error(), mode) {
 				t.Fatalf("error %q does not name the mode %q", err, mode)

@@ -23,7 +23,11 @@
 //     for Stickiness consecutive operations and moves elements in and out in
 //     batches of Batch with one lock acquisition per batch. Affinity biases
 //     each handle's dequeue choices toward a per-handle home stripe of
-//     queues for cache/NUMA locality (0 = uniform). Batched handles
+//     queues for cache/NUMA locality (0 = uniform). Located inserts
+//     (MQHandle.EnqueuePriorityRef) return an ElemRef for later
+//     Remove/Replace — lazy-tombstone interior removal for policies like
+//     replace-by-fee and capacity eviction (repro/internal/mempool is the
+//     worked example). Batched handles
 //     must call MQHandle.Flush before quiescent audits (Len, Sizes,
 //     cross-handle drains); cmd/quality -queue re-measures the rank-error
 //     distribution for any (Choices, Stickiness, Batch, Affinity) setting
@@ -74,6 +78,14 @@ type MultiQueue = core.MultiQueue
 
 // MQHandle is a per-goroutine view of a MultiQueue.
 type MQHandle = core.MQHandle
+
+// ElemRef locates one resident MultiQueue element for later
+// MQHandle.Remove/Replace (lazy-tombstone interior removal, DESIGN.md §9):
+// issued by MQHandle.EnqueuePriorityRef, valid until the element leaves the
+// structure. Callers must track residency themselves — see the ElemRef
+// contract in repro/internal/core and the mempool package for the canonical
+// usage.
+type ElemRef = core.ElemRef
 
 // MultiQueueConfig configures NewMultiQueue.
 type MultiQueueConfig = core.MultiQueueConfig

@@ -48,7 +48,27 @@ import (
 //	    throughput (within the AffineMatchTolerance measurement band) while
 //	    its measured mean AND max quality drift ratios stay within
 //	    AffineDriftLimit (affine_drift_ratio / affine_max_drift_ratio).
-const SchemaVersion = 5
+//	6 — PR 7: third report shape added (MempoolBench/MempoolReport: the
+//	    fee-revenue quality of the relaxed mempool against the exact
+//	    head-greedy reference on one intent trace, gated at
+//	    MempoolFeeLossLimit). The MQ/MC shapes are unchanged, so committed
+//	    v5 reports remain valid: ValidateFile now accepts any schema in
+//	    [MinSchemaVersion, SchemaVersion].
+const SchemaVersion = 6
+
+// MinSchemaVersion is the oldest schema ValidateFile still accepts. v6 only
+// added a new report shape, so the committed v5 BENCH_*.json need no
+// regeneration; bump this alongside SchemaVersion whenever an EXISTING shape
+// changes.
+const MinSchemaVersion = 5
+
+// MempoolFeeLossLimit bounds the fee-revenue fraction the relaxed mempool
+// may forgo against the exact head-greedy reference on the default trace
+// (quality.MeasureMempoolRevenue's FeeLossFrac) — the PR 7 acceptance gate
+// at the (s=8, k=8, m=256) configuration. Measured values run negative (the
+// relaxed pool's global-fee pops act as chain lookahead the myopic
+// reference lacks), so the gate is an upper bound only.
+const MempoolFeeLossLimit = 0.05
 
 // AffineMatchTolerance is the fraction of the uniform counterpart's speedup
 // an affine point must reach for the affine-vs-uniform gate ("matches or
@@ -328,11 +348,56 @@ func marshal(v any) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// Bench names distinguishing the two report shapes in their "bench" field.
+// Bench names distinguishing the report shapes in their "bench" field.
 const (
-	MQBench = "multiqueue-sticky-batched"
-	MCBench = "multicounter-sticky-batched"
+	MQBench      = "multiqueue-sticky-batched"
+	MCBench      = "multicounter-sticky-batched"
+	MempoolBench = "mempool-fee-quality"
 )
+
+// MempoolPoint is one mempool fee-quality measurement: the relaxed pool and
+// the exact head-greedy reference replay the same seeded intent trace, and
+// the point records the cumulative delivered fee of both at the shared
+// delivery-prefix length (schema v6; cmd/mempool-sim -json emits these).
+type MempoolPoint struct {
+	// MultiQueue configuration under the relaxed pool.
+	M          int    `json:"m"`
+	Choices    int    `json:"choices"`
+	Stickiness int    `json:"stickiness"`
+	Batch      int    `json:"batch"`
+	Backing    string `json:"backing"`
+	// Pool policy: resident capacity (0 = unbounded).
+	Capacity int `json:"capacity"`
+	// Workload shape (mempool.WorkloadConfig, after defaults).
+	TxOps   int     `json:"tx_ops"`
+	Senders int     `json:"senders"`
+	Theta   float64 `json:"theta"`
+	PopFrac float64 `json:"pop_frac"`
+	Seed    uint64  `json:"seed"`
+	// ComparedPops is the delivery-prefix length both revenues are taken
+	// at; RevenueRelaxed/RevenueExact are the cumulative delivered fees
+	// there, and FeeLossFrac = 1 − relaxed/exact (negative = the relaxed
+	// pool banked more).
+	ComparedPops   uint64  `json:"compared_pops"`
+	RevenueRelaxed uint64  `json:"revenue_relaxed"`
+	RevenueExact   uint64  `json:"revenue_exact"`
+	FeeLossFrac    float64 `json:"fee_loss_frac"`
+	// EvictedRelaxed/EvictedExact give the divergence context under a
+	// capacity bound (different eviction victims separate the pools).
+	EvictedRelaxed uint64 `json:"evicted_relaxed"`
+	EvictedExact   uint64 `json:"evicted_exact"`
+	// WithinLimit reports FeeLossFrac <= MempoolFeeLossLimit.
+	WithinLimit bool `json:"within_limit"`
+}
+
+// MempoolReport is the mempool fee-quality JSON schema (schema v6).
+type MempoolReport struct {
+	Bench  string         `json:"bench"`
+	Schema int            `json:"schema"`
+	Env    Env            `json:"env"`
+	DurMS  int64          `json:"dur_ms"`
+	Points []MempoolPoint `json:"points"`
+}
 
 // ValidateFile reads a BENCH_*.json, dispatches on its "bench" field,
 // strict-decodes it against the current schema (unknown fields are errors,
@@ -353,8 +418,8 @@ func ValidateFile(path string) (string, error) {
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return "", fmt.Errorf("benchfmt: %s: %w", path, err)
 	}
-	if probe.Schema != SchemaVersion {
-		return probe.Bench, fmt.Errorf("benchfmt: %s: schema %d, want %d", path, probe.Schema, SchemaVersion)
+	if probe.Schema < MinSchemaVersion || probe.Schema > SchemaVersion {
+		return probe.Bench, fmt.Errorf("benchfmt: %s: schema %d, want %d..%d", path, probe.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	var report any
 	switch probe.Bench {
@@ -373,6 +438,15 @@ func ValidateFile(path string) (string, error) {
 			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
 		}
 		if err := ValidateMC(rep); err != nil {
+			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
+		}
+		report = rep
+	case MempoolBench:
+		rep := new(MempoolReport)
+		if err := strictDecode(data, rep); err != nil {
+			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
+		}
+		if err := ValidateMempool(rep); err != nil {
 			return probe.Bench, fmt.Errorf("benchfmt: %s: %w", path, err)
 		}
 		report = rep
@@ -428,6 +502,45 @@ func ValidateMQ(r *MQReport) error {
 	}
 	if r.Summary.GateThreads < 1 {
 		return fmt.Errorf("summary gate_threads %d", r.Summary.GateThreads)
+	}
+	return nil
+}
+
+// ValidateMempool checks a MempoolReport's structural invariants. The shape
+// first exists at schema v6, so older schema numbers are rejected here even
+// though ValidateFile's range check would admit them for the MQ/MC shapes.
+func ValidateMempool(r *MempoolReport) error {
+	if r.Bench != MempoolBench {
+		return fmt.Errorf("bench %q, want %q", r.Bench, MempoolBench)
+	}
+	if r.Schema < 6 {
+		return fmt.Errorf("schema %d predates the mempool report (v6)", r.Schema)
+	}
+	if len(r.Points) == 0 {
+		return fmt.Errorf("no measurement points")
+	}
+	for i, pt := range r.Points {
+		if pt.M < 1 || pt.Choices < 1 || pt.Stickiness < 1 || pt.Batch < 1 {
+			return fmt.Errorf("point %d: non-positive queue configuration %+v", i, pt)
+		}
+		if pt.Backing == "" {
+			return fmt.Errorf("point %d: missing backing label", i)
+		}
+		if pt.TxOps < 1 || pt.Senders < 1 {
+			return fmt.Errorf("point %d: empty workload (%d ops, %d senders)", i, pt.TxOps, pt.Senders)
+		}
+		if pt.Capacity < 0 {
+			return fmt.Errorf("point %d: negative capacity %d", i, pt.Capacity)
+		}
+		if !(pt.FeeLossFrac >= -1 && pt.FeeLossFrac <= 1) { // rejects NaN too
+			return fmt.Errorf("point %d: fee_loss_frac %v outside [-1, 1]", i, pt.FeeLossFrac)
+		}
+		if pt.ComparedPops == 0 || pt.RevenueExact == 0 {
+			return fmt.Errorf("point %d: degenerate comparison (%d pops, exact revenue %d)", i, pt.ComparedPops, pt.RevenueExact)
+		}
+		if pt.WithinLimit != (pt.FeeLossFrac <= MempoolFeeLossLimit) {
+			return fmt.Errorf("point %d: within_limit %v inconsistent with fee_loss_frac %v", i, pt.WithinLimit, pt.FeeLossFrac)
+		}
 	}
 	return nil
 }

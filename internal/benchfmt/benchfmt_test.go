@@ -38,14 +38,28 @@ func sampleMC() *MCReport {
 	return rep
 }
 
-// TestValidateFileRoundTripV5 writes both report shapes with the v5
-// affinity fields and round-trips them through ValidateFile — the check the
-// benchall -validate CI step runs on the committed BENCH_*.json.
+// sampleMempool returns a minimal structurally valid MempoolReport.
+func sampleMempool() *MempoolReport {
+	return &MempoolReport{
+		Bench: MempoolBench, Schema: SchemaVersion, Env: CaptureEnv(), DurMS: 1,
+		Points: []MempoolPoint{{
+			M: 256, Choices: 2, Stickiness: 8, Batch: 8, Backing: "binary",
+			TxOps: 10000, Senders: 256, Theta: 0.9, PopFrac: 0.4, Seed: 1,
+			ComparedPops: 4022, RevenueRelaxed: 4157245, RevenueExact: 4062555,
+			FeeLossFrac: -0.0233, WithinLimit: true,
+		}},
+	}
+}
+
+// TestValidateFileRoundTripV5 writes all report shapes and round-trips them
+// through ValidateFile — the check the benchall -validate CI step runs on
+// the committed BENCH_*.json.
 func TestValidateFileRoundTripV5(t *testing.T) {
 	dir := t.TempDir()
 	for name, rep := range map[string]any{
-		"mq.json": sampleMQ(),
-		"mc.json": sampleMC(),
+		"mq.json":      sampleMQ(),
+		"mc.json":      sampleMC(),
+		"mempool.json": sampleMempool(),
 	} {
 		path := filepath.Join(dir, name)
 		if err := WriteFile(path, rep); err != nil {
@@ -84,9 +98,37 @@ func TestValidateRejectsAffinityDrift(t *testing.T) {
 	}
 
 	stale := sampleMQ()
-	stale.Schema = SchemaVersion - 1
+	stale.Schema = MinSchemaVersion - 1
 	if _, err := ValidateFile(write("mq-stale.json", stale)); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("stale schema not rejected: %v", err)
+	}
+
+	// v5 MQ/MC reports must STILL validate (MinSchemaVersion keeps the
+	// committed files valid across the v6 bump), but a mempool report
+	// claiming v5 must not — the shape first exists at v6.
+	v5 := sampleMQ()
+	v5.Schema = 5
+	if _, err := ValidateFile(write("mq-v5.json", v5)); err != nil {
+		t.Fatalf("v5 MQ report rejected after the v6 bump: %v", err)
+	}
+	oldPool := sampleMempool()
+	oldPool.Schema = 5
+	if _, err := ValidateFile(write("mempool-v5.json", oldPool)); err == nil || !strings.Contains(err.Error(), "predates") {
+		t.Fatalf("v5 mempool report not rejected: %v", err)
+	}
+
+	// Mempool structural checks: an out-of-range loss and an inconsistent
+	// verdict (NaN cannot be round-tripped here — json.Marshal refuses it —
+	// but the same `>= -1 && <= 1` comparison rejects it by construction).
+	outOfRange := sampleMempool()
+	outOfRange.Points[0].FeeLossFrac = 1.5
+	if _, err := ValidateFile(write("mempool-range.json", outOfRange)); err == nil || !strings.Contains(err.Error(), "fee_loss_frac") {
+		t.Fatalf("out-of-range fee loss not rejected: %v", err)
+	}
+	liar := sampleMempool()
+	liar.Points[0].FeeLossFrac = 0.2
+	if _, err := ValidateFile(write("mempool-liar.json", liar)); err == nil || !strings.Contains(err.Error(), "within_limit") {
+		t.Fatalf("inconsistent within_limit not rejected: %v", err)
 	}
 
 	// Round-trip drift: strip the affinity key out of the on-disk bytes the

@@ -201,6 +201,12 @@ type MQStats struct {
 	// LockContended counts blocking lock acquisitions that entered the
 	// spin-backoff slow path.
 	LockContended uint64
+	// Invalidations counts tombstones armed by Remove/RemoveBatch/Replace
+	// across all queues; Reclaimed counts those physically compacted out by
+	// later pops. Invalidations − Reclaimed is the live tombstone load the
+	// structure currently carries.
+	Invalidations uint64
+	Reclaimed     uint64
 }
 
 // Stats sums the internal queues' event counters without taking any locks.
@@ -211,6 +217,8 @@ func (q *MultiQueue) Stats() MQStats {
 		s.Elisions += qs.Elisions
 		s.Publications += qs.Publications
 		s.LockContended += qs.LockContended
+		s.Invalidations += qs.Invalidations
+		s.Reclaimed += qs.Reclaimed
 	}
 	return s
 }
@@ -254,6 +262,11 @@ type MQHandle struct {
 	outBuf []heap.Item
 	outPos int
 
+	// rmBuf stages one per-queue run of a RemoveBatch as heap.Items for
+	// cpq.InvalidateBatch; like inBuf/outBuf it is carved from the fixed
+	// backing array, so batched removals allocate nothing.
+	rmBuf []heap.Item
+
 	// Block-reserved clock stamps (batched mode over a Tick clock).
 	stampNext uint64
 	stampLeft int
@@ -280,9 +293,10 @@ func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
 		deq: NewAffineSampler(q.m, q.d, q.stick, q.affinity, id),
 	}
 	if q.batch > 1 {
-		backing := make([]heap.Item, 2*q.batch)
+		backing := make([]heap.Item, 3*q.batch)
 		h.inBuf = backing[0:0:q.batch]
 		h.outBuf = backing[q.batch : q.batch : 2*q.batch]
+		h.rmBuf = backing[2*q.batch : 2*q.batch : 3*q.batch]
 	}
 	return h
 }
@@ -439,6 +453,133 @@ func (h *MQHandle) stamp() uint64 {
 func (h *MQHandle) EnqueuePriority(priority, value uint64) {
 	h.checkOpen()
 	h.insert(priority, value)
+}
+
+// ElemRef locates one resident element for later Remove/Replace: the
+// internal queue it was inserted into plus the exact (priority, value) pair.
+// A ref is issued by EnqueuePriorityRef and stays valid until the element
+// leaves the structure — by being dequeued, removed, or returned to a
+// different queue by MQHandle.Close's prefetch give-back. Callers that need
+// removal must therefore track element residency themselves (a map keyed by
+// value, maintained at every dequeue, is the usual shape — see
+// internal/mempool); handing a stale ref to Remove corrupts the structure's
+// length accounting permanently, exactly as cpq.Queue.Invalidate documents.
+type ElemRef struct {
+	// Queue is the internal queue index the element resides in.
+	Queue int
+	// Priority and Value identify the element within that queue. Value must
+	// be unique among the structure's live and tombstoned elements.
+	Priority uint64
+	Value    uint64
+}
+
+// EnqueuePriorityRef inserts with an explicit priority like EnqueuePriority
+// but returns a reference locating the element, so the caller can later
+// Remove or Replace it. Located inserts cannot ride the insert buffer — the
+// target queue must be known when the ref is issued — so each call performs
+// one immediate cpq.Add through the sticky uniform insert rule: same queue
+// choice distribution as the batched path, one lock acquisition per element.
+// Workloads that never remove should prefer EnqueuePriority.
+func (h *MQHandle) EnqueuePriorityRef(priority, value uint64) ElemRef {
+	h.checkOpen()
+	i := h.enqTarget(1)
+	h.q.qs[i].Add(priority, value)
+	return ElemRef{Queue: i, Priority: priority, Value: value}
+}
+
+// Remove marks the referenced element dead in its queue (lazy tombstone,
+// DESIGN.md §9): it never surfaces from a dequeue, Len/Sizes exclude it
+// immediately, and a later pop physically reclaims it. Returns false if the
+// element was already tombstoned. The caller must guarantee the ref is
+// current (see ElemRef); in particular an element sitting in a handle's
+// prefetch buffer is no longer resident — check DropPrefetched first.
+func (h *MQHandle) Remove(ref ElemRef) bool {
+	h.checkOpen()
+	return h.q.qs[ref.Queue].Invalidate(ref.Priority, ref.Value)
+}
+
+// RemoveBatch removes a set of referenced elements, amortizing locks the way
+// the bulk insert/dequeue paths do: refs are grouped by queue (an in-place
+// insertion sort — batches are small and typically nearly sorted) and each
+// group is staged through the handle's fixed removal buffer into one
+// cpq.InvalidateBatch — one lock acquisition and at most one top-word
+// publication per queue touched, zero allocations in batched mode. The slice
+// is reordered in place. Returns the number of elements newly tombstoned.
+// Per-op handles (Batch <= 1) fall back to one Remove per ref.
+func (h *MQHandle) RemoveBatch(refs []ElemRef) int {
+	h.checkOpen()
+	if len(h.rmBuf) != 0 {
+		panic("core: RemoveBatch re-entered") // rmBuf is always left empty
+	}
+	armed := 0
+	if cap(h.rmBuf) == 0 {
+		for _, ref := range refs {
+			if h.q.qs[ref.Queue].Invalidate(ref.Priority, ref.Value) {
+				armed++
+			}
+		}
+		return armed
+	}
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j-1].Queue > refs[j].Queue; j-- {
+			refs[j-1], refs[j] = refs[j], refs[j-1]
+		}
+	}
+	flush := func(queue int) {
+		if len(h.rmBuf) > 0 {
+			armed += h.q.qs[queue].InvalidateBatch(h.rmBuf)
+			h.rmBuf = h.rmBuf[:0]
+		}
+	}
+	for i, ref := range refs {
+		if i > 0 && refs[i-1].Queue != ref.Queue {
+			flush(refs[i-1].Queue)
+		}
+		if len(h.rmBuf) == cap(h.rmBuf) {
+			flush(ref.Queue)
+		}
+		h.rmBuf = append(h.rmBuf, heap.Item{Priority: ref.Priority, Value: ref.Value})
+	}
+	if len(refs) > 0 {
+		flush(refs[len(refs)-1].Queue)
+	}
+	return armed
+}
+
+// Replace atomically-enough swaps one element for another: the old ref is
+// tombstoned and the replacement inserted with a fresh sticky queue choice,
+// returning the new element's ref. The two steps are not one critical
+// section — a concurrent dequeue may observe the gap where neither element
+// is obtainable, which relaxed-queue callers already tolerate (it is
+// indistinguishable from the element being held in another handle's
+// prefetch). Returns ok=false without inserting when the old ref was already
+// tombstoned — under the ElemRef residency contract that means a racing
+// Replace won, and inserting would duplicate the value.
+func (h *MQHandle) Replace(old ElemRef, priority, value uint64) (ElemRef, bool) {
+	h.checkOpen()
+	if !h.Remove(old) {
+		return ElemRef{}, false
+	}
+	return h.EnqueuePriorityRef(priority, value), true
+}
+
+// DropPrefetched searches this handle's prefetch buffer for the element with
+// the given value and, if present, removes it from the buffer, reporting
+// whether it did. Prefetched elements were already dequeued from the shared
+// structure, so a Remove aimed at one would arm a tombstone that nothing can
+// ever reclaim; a removal protocol over batched handles must try
+// DropPrefetched on every handle that might have prefetched the element
+// before falling through to Remove. Order of the remaining prefetch run is
+// preserved. O(Prefetched()) — the buffer holds at most Batch elements.
+func (h *MQHandle) DropPrefetched(value uint64) bool {
+	h.checkOpen()
+	for i := h.outPos; i < len(h.outBuf); i++ {
+		if h.outBuf[i].Value == value {
+			h.outBuf = append(h.outBuf[:i], h.outBuf[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Dequeue implements Algorithm 2's Dequeue, generalized to the configured

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Tests for the located-removal surface (ElemRef / EnqueuePriorityRef /
+// Remove / RemoveBatch / Replace / DropPrefetched) that the mempool
+// scenario's replace-by-fee and eviction policies are built on.
+
+func newRemoveMQ(t *testing.T, batch int) (*MultiQueue, *MQHandle) {
+	t.Helper()
+	q := NewMultiQueue(MultiQueueConfig{
+		Queues: 8, Seed: 11, Stickiness: 4, Batch: batch, Capacity: 256,
+	})
+	return q, q.NewHandle(7)
+}
+
+// TestRemoveExcludedFromLenSizesAndDequeue is the core-level half of the
+// Len/Sizes satellite: a removed element must vanish from Len, from the
+// per-queue Sizes snapshot, and from every subsequent dequeue, the moment
+// Remove returns — before any pop physically reclaims the tombstone.
+func TestRemoveExcludedFromLenSizesAndDequeue(t *testing.T) {
+	q, h := newRemoveMQ(t, 1)
+	refs := make([]ElemRef, 0, 64)
+	for v := uint64(0); v < 64; v++ {
+		refs = append(refs, h.EnqueuePriorityRef(1000+v, v))
+	}
+	if q.Len() != 64 {
+		t.Fatalf("Len=%d, want 64", q.Len())
+	}
+	// Remove every fourth element.
+	removed := map[uint64]bool{}
+	for i := 0; i < len(refs); i += 4 {
+		if !h.Remove(refs[i]) {
+			t.Fatalf("Remove(%+v) returned false for a resident element", refs[i])
+		}
+		removed[refs[i].Value] = true
+	}
+	if q.Len() != 48 {
+		t.Fatalf("Len=%d after 16 removals, want 48", q.Len())
+	}
+	sizes := make([]int, q.M())
+	q.Sizes(sizes)
+	sum := 0
+	for _, n := range sizes {
+		sum += n
+	}
+	if sum != 48 {
+		t.Fatalf("Sizes sum=%d after removals, want 48 (tombstones must be excluded)", sum)
+	}
+	st := q.Stats()
+	if st.Invalidations != 16 {
+		t.Fatalf("Stats.Invalidations=%d, want 16", st.Invalidations)
+	}
+	got := 0
+	for {
+		it, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		if removed[it.Value] {
+			t.Fatalf("dequeued removed element %d", it.Value)
+		}
+		got++
+	}
+	if got != 48 {
+		t.Fatalf("drained %d elements, want 48", got)
+	}
+	if st := q.Stats(); st.Reclaimed != st.Invalidations {
+		t.Fatalf("after full drain reclaimed=%d, invalidations=%d — tombstones leaked", st.Reclaimed, st.Invalidations)
+	}
+}
+
+// TestRemoveBatchGroupsByQueue checks the batched removal path: refs spread
+// over many queues and presented unsorted must all arm and disappear from
+// dequeues, in per-op and batched handle modes alike.
+func TestRemoveBatchGroupsByQueue(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		q, h := newRemoveMQ(t, batch)
+		var refs []ElemRef
+		for v := uint64(0); v < 100; v++ {
+			refs = append(refs, h.EnqueuePriorityRef(v, v))
+		}
+		// Shuffle to exercise the in-place grouping sort.
+		r := rng.NewXoshiro256(5)
+		victims := append([]ElemRef(nil), refs[:40]...)
+		for i := len(victims) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			victims[i], victims[j] = victims[j], victims[i]
+		}
+		if armed := h.RemoveBatch(victims); armed != 40 {
+			t.Fatalf("batch=%d: RemoveBatch armed %d, want 40", batch, armed)
+		}
+		if q.Len() != 60 {
+			t.Fatalf("batch=%d: Len=%d after RemoveBatch, want 60", batch, q.Len())
+		}
+		dead := map[uint64]bool{}
+		for _, ref := range victims {
+			dead[ref.Value] = true
+		}
+		got := 0
+		for {
+			it, ok := h.Dequeue()
+			if !ok {
+				break
+			}
+			if dead[it.Value] {
+				t.Fatalf("batch=%d: dequeued batch-removed element %d", batch, it.Value)
+			}
+			got++
+		}
+		if got != 60 {
+			t.Fatalf("batch=%d: drained %d, want 60", batch, got)
+		}
+	}
+}
+
+// TestRemoveBatchZeroAlloc pins the batched removal path at zero
+// allocations: grouping happens by in-place sort and staging through the
+// handle's fixed rmBuf, like the insert/prefetch buffers.
+func TestRemoveBatchZeroAlloc(t *testing.T) {
+	q, h := newRemoveMQ(t, 8)
+	_ = q
+	var next uint64
+	refs := make([]ElemRef, 8)
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := range refs {
+			next++
+			refs[i] = h.EnqueuePriorityRef(next, next)
+		}
+		if h.RemoveBatch(refs) != len(refs) {
+			t.Fatal("RemoveBatch missed a resident element")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EnqueuePriorityRef+RemoveBatch allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestReplaceSwapsElement checks replace-by-fee's primitive: the old element
+// never surfaces, the replacement does, and a second Replace of the same ref
+// refuses without inserting while the tombstone is uncollected (the old
+// element is interior — a live smaller element keeps it from being compacted
+// out, so the dup check is deterministic).
+func TestReplaceSwapsElement(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Queues: 1, Seed: 11, Capacity: 256})
+	h := q.NewHandle(7)
+	h.EnqueuePriorityRef(40, 0) // keeps (50,1)'s tombstone interior
+	old := h.EnqueuePriorityRef(50, 1)
+	h.EnqueuePriorityRef(60, 2)
+	nref, ok := h.Replace(old, 45, 3)
+	if !ok {
+		t.Fatal("Replace of a resident element refused")
+	}
+	if nref.Priority != 45 || nref.Value != 3 {
+		t.Fatalf("Replace returned ref %+v, want (45,3)", nref)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len=%d after Replace, want 3", q.Len())
+	}
+	if _, ok := h.Replace(old, 30, 4); ok {
+		t.Fatal("Replace of an uncollected tombstoned ref succeeded; must refuse")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len=%d after refused Replace, want 3 (nothing inserted)", q.Len())
+	}
+	wantOrder := []uint64{0, 3, 2} // (40,0), (45,3), (60,2); (50,1) never
+	for i, want := range wantOrder {
+		it, ok := h.Dequeue()
+		if !ok || it.Value != want {
+			t.Fatalf("dequeue %d = (%+v, %v), want value %d", i, it, ok, want)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("structure not empty after draining the three live elements")
+	}
+}
+
+// TestRemoveBatchRefusesUncollectedDuplicates pins the armed count when one
+// batch names the same resident element twice: cpq.InvalidateBatch arms all
+// tombstones before any compaction, so the duplicate is reliably refused.
+func TestRemoveBatchRefusesUncollectedDuplicates(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Queues: 1, Seed: 3, Batch: 8, Capacity: 64})
+	h := q.NewHandle(1)
+	a := h.EnqueuePriorityRef(10, 1)
+	b := h.EnqueuePriorityRef(20, 2)
+	if armed := h.RemoveBatch([]ElemRef{a, b, a}); armed != 2 {
+		t.Fatalf("RemoveBatch armed %d, want 2 (duplicate refused)", armed)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len=%d, want 0", q.Len())
+	}
+}
+
+// TestDropPrefetched checks the prefetch escape hatch: an element staged in
+// a handle's prefetch buffer is no longer resident in the shared structure,
+// so a removal protocol drops it from the buffer instead; the remaining run
+// keeps its order and conservation stays exact.
+func TestDropPrefetched(t *testing.T) {
+	// One internal queue, so the first batched dequeue deterministically
+	// prefetches the whole run 1..8.
+	q := NewMultiQueue(MultiQueueConfig{Queues: 1, Seed: 11, Batch: 8, Capacity: 256})
+	h := q.NewHandle(7)
+	for v := uint64(1); v <= 8; v++ {
+		h.EnqueuePriorityRef(v, v)
+	}
+	it, ok := h.Dequeue() // refills the prefetch buffer with a batched run
+	if !ok || it.Value != 1 {
+		t.Fatalf("Dequeue = (%+v, %v), want (1,1)", it, ok)
+	}
+	pre := h.Prefetched()
+	if pre != 7 {
+		t.Fatalf("Prefetched=%d after the first batched dequeue, want 7", pre)
+	}
+	const target = uint64(8) // last element of the prefetch run
+	if !h.DropPrefetched(target) {
+		t.Fatalf("DropPrefetched(%d) missed a prefetched element", target)
+	}
+	if h.DropPrefetched(target) {
+		t.Fatal("DropPrefetched dropped the same element twice")
+	}
+	if h.Prefetched() != pre-1 {
+		t.Fatalf("Prefetched=%d after drop, want %d", h.Prefetched(), pre-1)
+	}
+	if h.DropPrefetched(it.Value) {
+		t.Fatal("DropPrefetched claimed the already-delivered element")
+	}
+	// Remaining elements arrive in order, skipping the dropped one.
+	var gotVals []uint64
+	for {
+		nit, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		gotVals = append(gotVals, nit.Value)
+	}
+	last := it.Value
+	for _, v := range gotVals {
+		if v == target {
+			t.Fatalf("dropped element %d surfaced from Dequeue", target)
+		}
+		if v <= last {
+			t.Fatalf("prefetch order broken after drop: %d after %d", v, last)
+		}
+		last = v
+	}
+	if len(gotVals) != 8-2 { // 8 admitted − 1 delivered − 1 dropped
+		t.Fatalf("drained %d after drop, want 6", len(gotVals))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len=%d at end, want 0", q.Len())
+	}
+}

@@ -1,0 +1,301 @@
+package mempool
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newTestPool(t *testing.T, capacity int) (*Pool, *Handle) {
+	t.Helper()
+	p := New(Config{
+		Queue:    core.MultiQueueConfig{Queues: 8, Choices: 2, Stickiness: 4, Batch: 4, Seed: 9},
+		Capacity: capacity,
+		Seed:     5,
+	})
+	return p, p.NewHandle(1)
+}
+
+func mustAdmit(t *testing.T, h *Handle, sender, nonce, fee uint64) {
+	t.Helper()
+	if err := h.Admit(sender, nonce, fee); err != nil {
+		t.Fatalf("Admit(%d,%d,%d): %v", sender, nonce, fee, err)
+	}
+}
+
+func checkConservation(t *testing.T, p *Pool) {
+	t.Helper()
+	if err := p.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonceOrderBeatsFeeOrder: one sender's chain delivers strictly in
+// nonce order even when later nonces pay far higher fees — the
+// park-and-promote path in action (the high-fee nonce pops first from the
+// fee-ordered structure and must wait).
+func TestNonceOrderBeatsFeeOrder(t *testing.T) {
+	p, h := newTestPool(t, 0)
+	fees := []uint64{5, 50000, 7, 90000}
+	for n, fee := range fees {
+		mustAdmit(t, h, 1, uint64(n), fee)
+	}
+	for want := uint64(0); want < 4; want++ {
+		tx, ok := p.Pop()
+		if !ok || tx.Nonce != want || tx.Fee != fees[want] {
+			t.Fatalf("pop %d = (%+v, %v), want nonce %d fee %d", want, tx, ok, want, fees[want])
+		}
+	}
+	if _, ok := p.Pop(); ok {
+		t.Fatal("pool should be empty")
+	}
+	st := p.Stats()
+	if st.Revenue != 5+50000+7+90000 {
+		t.Fatalf("revenue %d", st.Revenue)
+	}
+	checkConservation(t, p)
+}
+
+// TestAdmissionValidation covers the rejection matrix: zero/oversized fees,
+// nonce gaps, stale nonces, and the dedupe/RBF threshold.
+func TestAdmissionValidation(t *testing.T) {
+	p, h := newTestPool(t, 0)
+	if err := h.Admit(1, 0, 0); !errors.Is(err, ErrFeeOutOfRange) {
+		t.Fatalf("zero fee: %v", err)
+	}
+	if err := h.Admit(1, 0, MaxFee+1); !errors.Is(err, ErrFeeOutOfRange) {
+		t.Fatalf("oversized fee: %v", err)
+	}
+	if err := h.Admit(1, 1, 100); !errors.Is(err, ErrNonceGap) {
+		t.Fatalf("gap: %v", err)
+	}
+	mustAdmit(t, h, 1, 0, 100)
+	// Dedupe: same (sender, nonce) again with the same fee is a rejected
+	// replacement, not a second admission.
+	if err := h.Admit(1, 0, 100); !errors.Is(err, ErrFeeTooLow) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	// +10% default bump: 109 rejected, 110 accepted.
+	if err := h.Admit(1, 0, 109); !errors.Is(err, ErrFeeTooLow) {
+		t.Fatalf("under-bump: %v", err)
+	}
+	mustAdmit(t, h, 1, 0, 110)
+	if tx, ok := p.Pop(); !ok || tx.Fee != 110 {
+		t.Fatalf("pop = (%+v, %v), want the replacement fee 110", tx, ok)
+	}
+	if err := h.Admit(1, 0, 500); !errors.Is(err, ErrStaleNonce) {
+		t.Fatalf("stale: %v", err)
+	}
+	st := p.Stats()
+	if st.Admitted != 2 || st.Replaced != 1 || st.Popped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	checkConservation(t, p)
+}
+
+// TestReplacedNeverPops: after a successful replace-by-fee, only the new
+// version (new fee, new serial) is ever delivered.
+func TestReplacedNeverPops(t *testing.T) {
+	p, h := newTestPool(t, 0)
+	mustAdmit(t, h, 1, 0, 1000)
+	mustAdmit(t, h, 2, 0, 5)
+	mustAdmit(t, h, 1, 0, 2000) // RBF while queued
+	seen := map[TxID]Tx{}
+	for {
+		tx, ok := p.Pop()
+		if !ok {
+			break
+		}
+		id := TxID{tx.Sender, tx.Nonce}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("delivered %+v twice (first %+v) — replaced version surfaced", id, prev)
+		}
+		seen[id] = tx
+	}
+	if got := seen[TxID{1, 0}]; got.Fee != 2000 {
+		t.Fatalf("delivered fee %d for the replaced slot, want 2000", got.Fee)
+	}
+	checkConservation(t, p)
+}
+
+// TestRBFOnParkedTx: replacing a transaction that was already popped out of
+// nonce order (parked) re-prices it in place; the parked version delivers
+// with the new fee. A single internal queue makes the parking sequence
+// deterministic: the fee-ordered pop surfaces nonce 1 first, parks it, and
+// delivers sender 2 instead.
+func TestRBFOnParkedTx(t *testing.T) {
+	p := New(Config{Queue: core.MultiQueueConfig{Queues: 1, Seed: 9}, Seed: 5})
+	h := p.NewHandle(1)
+	mustAdmit(t, h, 1, 0, 10)
+	mustAdmit(t, h, 1, 1, 90000)
+	mustAdmit(t, h, 2, 0, 50000)
+	tx, ok := p.Pop() // pops (1,1): parks; pops (2,0): delivers
+	if !ok || tx.Sender != 2 {
+		t.Fatalf("first pop = (%+v, %v), want sender 2", tx, ok)
+	}
+	if st := p.Stats(); st.Parked != 1 {
+		t.Fatalf("parked %d, want 1", st.Parked)
+	}
+	mustAdmit(t, h, 1, 1, 99001) // RBF on the parked version: re-price in place
+	tx, ok = p.Pop()
+	if !ok || tx.Sender != 1 || tx.Nonce != 0 {
+		t.Fatalf("second pop = (%+v, %v), want (1,0)", tx, ok)
+	}
+	tx, ok = p.Pop()
+	if !ok || tx.Nonce != 1 || tx.Fee != 99001 {
+		t.Fatalf("third pop = (%+v, %v), want nonce 1 fee 99001", tx, ok)
+	}
+	checkConservation(t, p)
+}
+
+// TestEvictionCascade: at capacity, the lowest-fee resident is evicted
+// together with its sender's higher nonces, and the newcomer must outbid
+// the victim by the bump factor.
+func TestEvictionCascade(t *testing.T) {
+	p, h := newTestPool(t, 4)
+	mustAdmit(t, h, 1, 0, 100) // victim: lowest fee
+	mustAdmit(t, h, 1, 1, 9000)
+	mustAdmit(t, h, 1, 2, 9000)
+	mustAdmit(t, h, 2, 0, 5000)
+	// Newcomer under the bump bar over the victim: rejected.
+	if err := h.Admit(3, 0, 105); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("under-bid admission: %v", err)
+	}
+	// Newcomer clearing the bar: evicts sender 1's whole chain (nonces
+	// 0..2 — the cascade keeps contiguity).
+	mustAdmit(t, h, 3, 0, 200)
+	st := p.Stats()
+	if st.Evicted != 3 {
+		t.Fatalf("evicted %d, want 3 (victim + 2 cascade)", st.Evicted)
+	}
+	if st.EvictedFee != 100+9000+9000 {
+		t.Fatalf("evicted fee %d", st.EvictedFee)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("resident %d, want 2", p.Len())
+	}
+	// Sender 1's frontier rolled back: nonce 0 is admittable again.
+	if got := p.NextAdmit(1); got != 0 {
+		t.Fatalf("sender 1 NextAdmit %d, want 0 after cascade", got)
+	}
+	mustAdmit(t, h, 1, 0, 30000)
+	// Fill back to capacity, then check the own-sender guard: sender 3
+	// cannot evict its own chain to append a nonce.
+	mustAdmit(t, h, 3, 1, 250)
+	for p.Len() < 4 {
+		mustAdmit(t, h, 4, p.NextAdmit(4), 40000)
+	}
+	if err := h.Admit(3, 2, MaxFee); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("own-sender eviction must be refused: %v", err)
+	}
+	checkConservation(t, p)
+	// Drain respects nonce order per sender throughout.
+	last := map[uint64]uint64{}
+	for {
+		tx, ok := p.Pop()
+		if !ok {
+			break
+		}
+		if n, seen := last[tx.Sender]; seen && tx.Nonce != n+1 {
+			t.Fatalf("sender %d delivered nonce %d after %d", tx.Sender, tx.Nonce, n)
+		}
+		last[tx.Sender] = tx.Nonce
+	}
+	checkConservation(t, p)
+}
+
+// TestBumpFee pins the helper's ceiling/saturation arithmetic.
+func TestBumpFee(t *testing.T) {
+	cases := []struct{ old, num, den, want uint64 }{
+		{100, 110, 100, 110},
+		{101, 110, 100, 112}, // ceil(111.1)
+		{1, 110, 100, 2},     // max(old+1, ceil(1.1))
+		{MaxFee, 110, 100, MaxFee},
+		{MaxFee - 1, 100, 100, MaxFee},
+		{1000, 3, 2, 1500},
+	}
+	for _, c := range cases {
+		if got := BumpFee(c.old, c.num, c.den); got != c.want {
+			t.Fatalf("BumpFee(%d,%d/%d) = %d, want %d", c.old, c.num, c.den, got, c.want)
+		}
+	}
+	// The computed fee always clears the pool's own acceptance check.
+	p := &Pool{bumpNum: 117, bumpDen: 100}
+	for old := uint64(1); old < 3000; old += 7 {
+		f := BumpFee(old, 117, 100)
+		if !p.bumped(old, f) {
+			t.Fatalf("BumpFee(%d) = %d does not clear the 117/100 bar", old, f)
+		}
+		if f > old+1 && p.bumped(old, f-1) {
+			t.Fatalf("BumpFee(%d) = %d is not minimal", old, f)
+		}
+	}
+}
+
+// TestSeqPoolMirrorsPolicy runs the validation matrix against the exact
+// reference: same errors, same ledger shape.
+func TestSeqPoolMirrorsPolicy(t *testing.T) {
+	p := NewSeq(Config{Capacity: 2})
+	if err := p.Admit(1, 1, 10); !errors.Is(err, ErrNonceGap) {
+		t.Fatalf("gap: %v", err)
+	}
+	if err := p.Admit(1, 0, 0); !errors.Is(err, ErrFeeOutOfRange) {
+		t.Fatalf("fee: %v", err)
+	}
+	if err := p.Admit(1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit(1, 0, 105); !errors.Is(err, ErrFeeTooLow) {
+		t.Fatalf("under-bump: %v", err)
+	}
+	if err := p.Admit(1, 0, 110); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit(2, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Full: newcomer must outbid lowest-fee resident (110 of sender 1).
+	if err := p.Admit(3, 0, 115); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("under-bid: %v", err)
+	}
+	if err := p.Admit(3, 0, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Exact delivery: highest-fee head first.
+	want := []struct{ sender, fee uint64 }{{2, 500}, {3, 200}}
+	for _, w := range want {
+		tx, ok := p.Pop()
+		if !ok || tx.Sender != w.sender || tx.Fee != w.fee {
+			t.Fatalf("pop = (%+v, %v), want sender %d fee %d", tx, ok, w.sender, w.fee)
+		}
+	}
+	if _, ok := p.Pop(); ok {
+		t.Fatal("seq pool should be empty")
+	}
+	if err := p.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Admitted != 4 || st.Replaced != 1 || st.Evicted != 1 || st.Popped != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSeqPoolNonceOrder: the exact pool also delivers a sender's chain in
+// nonce order — its heads index only ever exposes the frontier.
+func TestSeqPoolNonceOrder(t *testing.T) {
+	p := NewSeq(Config{})
+	fees := []uint64{5, 50000, 7, 90000}
+	for n, fee := range fees {
+		if err := p.Admit(1, uint64(n), fee); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := uint64(0); want < 4; want++ {
+		tx, ok := p.Pop()
+		if !ok || tx.Nonce != want {
+			t.Fatalf("pop = (%+v, %v), want nonce %d", tx, ok, want)
+		}
+	}
+}

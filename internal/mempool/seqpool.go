@@ -1,0 +1,247 @@
+package mempool
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// SeqPool is the exact sequential reference pool: identical admission
+// policy to Pool (nonce contiguity, replace-by-fee bump, capacity eviction
+// of the lowest-fee resident with sender-tail cascade), but delivery is
+// exact — Pop always returns the highest-fee transaction among the
+// deliverable heads (each sender's nextDeliver nonce), the order an ideal
+// block builder would use. The differential tests replay one trace against
+// SeqPool and Pool; the revenue gap between the two is the fee cost of rank
+// relaxation that quality.MeasureMempoolRevenue reports.
+//
+// SeqPool is single-threaded and unsynchronized: it exists as a model, not
+// a service.
+type SeqPool struct {
+	senders  map[uint64]*senderState
+	byID     map[TxID]*txEntry // state field unused; ref unused
+	bySerial map[uint64]*txEntry
+	// heads indexes the deliverable frontier by complemented fee: one
+	// (feePriority(fee), serial) entry per sender whose nextDeliver nonce
+	// is resident. Lazy like Pool.evict: serials gone from bySerial, or
+	// carrying outdated fees, are skipped on pop.
+	heads *heap.Binary
+	// evict is the same lazy min-fee index over all residents as Pool's.
+	evict      *heap.Binary
+	nextSerial uint64
+
+	capacity         int
+	bumpNum, bumpDen uint64
+	st               Stats
+}
+
+// NewSeq returns an empty exact pool with the same policy knobs as New
+// (cfg.Queue and cfg.Seed are ignored — there is no relaxed structure
+// underneath).
+func NewSeq(cfg Config) *SeqPool {
+	if cfg.BumpNum == 0 || cfg.BumpDen == 0 {
+		cfg.BumpNum, cfg.BumpDen = 110, 100
+	}
+	if cfg.BumpNum < cfg.BumpDen {
+		panic("mempool: bump factor must be >= 1")
+	}
+	return &SeqPool{
+		senders:  make(map[uint64]*senderState),
+		byID:     make(map[TxID]*txEntry),
+		bySerial: make(map[uint64]*txEntry),
+		heads:    heap.NewBinary(1024),
+		evict:    heap.NewBinary(1024),
+		capacity: cfg.Capacity,
+		bumpNum:  cfg.BumpNum,
+		bumpDen:  cfg.BumpDen,
+	}
+}
+
+func (p *SeqPool) bumped(oldFee, newFee uint64) bool {
+	// Same 128-bit threshold as Pool.bumped.
+	tmp := &Pool{bumpNum: p.bumpNum, bumpDen: p.bumpDen}
+	return tmp.bumped(oldFee, newFee)
+}
+
+func (p *SeqPool) sender(s uint64) *senderState {
+	ss := p.senders[s]
+	if ss == nil {
+		ss = &senderState{}
+		p.senders[s] = ss
+	}
+	return ss
+}
+
+// pushHead (re)indexes the sender's current deliverable head, if resident.
+func (p *SeqPool) pushHead(ss *senderState, sender uint64) {
+	if e := p.byID[TxID{sender, ss.nextDeliver}]; e != nil {
+		p.heads.Push(heap.Item{Priority: feePriority(e.tx.Fee), Value: e.tx.Serial})
+	}
+}
+
+// Admit mirrors Handle.Admit exactly, against the exact pool.
+func (p *SeqPool) Admit(sender, nonce, fee uint64) error {
+	if fee == 0 || fee > MaxFee {
+		p.st.RejectedFee++
+		return ErrFeeOutOfRange
+	}
+	ss := p.sender(sender)
+	switch {
+	case nonce < ss.nextDeliver:
+		p.st.RejectedStale++
+		return ErrStaleNonce
+	case nonce > ss.nextAdmit:
+		p.st.RejectedGap++
+		return ErrNonceGap
+	case nonce < ss.nextAdmit:
+		e := p.byID[TxID{sender, nonce}]
+		if !p.bumped(e.tx.Fee, fee) {
+			p.st.RejectedFee++
+			return ErrFeeTooLow
+		}
+		delete(p.bySerial, e.tx.Serial)
+		e.tx.Serial = p.nextSerial
+		p.nextSerial++
+		e.tx.Fee = fee
+		p.bySerial[e.tx.Serial] = e
+		p.evict.Push(heap.Item{Priority: fee, Value: e.tx.Serial})
+		if nonce == ss.nextDeliver {
+			p.pushHead(ss, sender)
+		}
+		p.st.Replaced++
+		p.st.Admitted++
+		return nil
+	}
+	if p.capacity > 0 && len(p.byID) >= p.capacity {
+		if err := p.evictFor(sender, fee); err != nil {
+			p.st.RejectedFull++
+			return err
+		}
+	}
+	e := &txEntry{tx: Tx{Sender: sender, Nonce: nonce, Fee: fee, Serial: p.nextSerial}}
+	p.nextSerial++
+	p.byID[TxID{sender, nonce}] = e
+	p.bySerial[e.tx.Serial] = e
+	p.evict.Push(heap.Item{Priority: fee, Value: e.tx.Serial})
+	ss.nextAdmit++
+	if nonce == ss.nextDeliver {
+		p.pushHead(ss, sender)
+	}
+	p.st.Admitted++
+	return nil
+}
+
+func (p *SeqPool) evictFor(sender, fee uint64) error {
+	var victim *txEntry
+	for {
+		it, ok := p.evict.Peek()
+		if !ok {
+			return ErrPoolFull
+		}
+		e := p.bySerial[it.Value]
+		if e == nil || e.tx.Fee != it.Priority {
+			p.evict.Pop()
+			continue
+		}
+		victim = e
+		break
+	}
+	if victim.tx.Sender == sender || !p.bumped(victim.tx.Fee, fee) {
+		return ErrPoolFull
+	}
+	ss := p.senders[victim.tx.Sender]
+	for n := ss.nextAdmit; n > victim.tx.Nonce; n-- {
+		id := TxID{victim.tx.Sender, n - 1}
+		e := p.byID[id]
+		delete(p.byID, id)
+		delete(p.bySerial, e.tx.Serial)
+		p.st.Evicted++
+		p.st.EvictedFee += e.tx.Fee
+	}
+	ss.nextAdmit = victim.tx.Nonce
+	// The evicted head's heap entry goes stale via bySerial; nothing to do.
+	return nil
+}
+
+// Pop delivers the highest-fee deliverable head. ok is false only when the
+// pool is empty.
+func (p *SeqPool) Pop() (Tx, bool) {
+	for {
+		it, ok := p.heads.Pop()
+		if !ok {
+			if len(p.byID) != 0 {
+				panic("mempool: seq pool has residents but no deliverable head")
+			}
+			return Tx{}, false
+		}
+		e := p.bySerial[it.Value]
+		if e == nil || feePriority(e.tx.Fee) != it.Priority {
+			continue // stale: evicted, replaced, or re-priced
+		}
+		ss := p.senders[e.tx.Sender]
+		if e.tx.Nonce != ss.nextDeliver {
+			continue // stale: superseded head entry
+		}
+		ss.nextDeliver = e.tx.Nonce + 1
+		delete(p.byID, TxID{e.tx.Sender, e.tx.Nonce})
+		delete(p.bySerial, e.tx.Serial)
+		p.st.Popped++
+		p.st.Revenue += e.tx.Fee
+		p.pushHead(ss, e.tx.Sender)
+		return e.tx, true
+	}
+}
+
+// NextAdmit returns the sender's next admission nonce.
+func (p *SeqPool) NextAdmit(sender uint64) uint64 {
+	if ss := p.senders[sender]; ss != nil {
+		return ss.nextAdmit
+	}
+	return 0
+}
+
+// ResidentRange returns the sender's resident nonce window [lo, hi).
+func (p *SeqPool) ResidentRange(sender uint64) (lo, hi uint64) {
+	if ss := p.senders[sender]; ss != nil {
+		return ss.nextDeliver, ss.nextAdmit
+	}
+	return 0, 0
+}
+
+// Fee returns the resident fee of (sender, nonce), if resident.
+func (p *SeqPool) Fee(sender, nonce uint64) (uint64, bool) {
+	if e := p.byID[TxID{sender, nonce}]; e != nil {
+		return e.tx.Fee, true
+	}
+	return 0, false
+}
+
+// Len returns the number of resident transactions.
+func (p *SeqPool) Len() int { return len(p.byID) }
+
+// Stats snapshots the ledger.
+func (p *SeqPool) Stats() Stats {
+	st := p.st
+	st.Resident = uint64(len(p.byID))
+	return st
+}
+
+// CheckConservation audits the exact pool's ledger.
+func (p *SeqPool) CheckConservation() error {
+	st := p.st
+	resident := uint64(len(p.byID))
+	if st.Admitted != st.Popped+st.Evicted+st.Replaced+resident {
+		return fmt.Errorf("mempool: seq ledger violated: admitted %d != popped %d + evicted %d + replaced %d + resident %d",
+			st.Admitted, st.Popped, st.Evicted, st.Replaced, resident)
+	}
+	if len(p.byID) != len(p.bySerial) {
+		return fmt.Errorf("mempool: seq id/serial index mismatch: %d vs %d", len(p.byID), len(p.bySerial))
+	}
+	for id := range p.byID {
+		ss := p.senders[id.Sender]
+		if ss == nil || id.Nonce < ss.nextDeliver || id.Nonce >= ss.nextAdmit {
+			return fmt.Errorf("mempool: seq resident %+v outside its sender window", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package mempool
+
+import (
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// The workload layer generates pool-independent intent traces and replays
+// them against any pool implementation. Ops carry intent, not absolute
+// state: an admission targets "the sender's next nonce" and a bump targets
+// "the k-th undelivered nonce", both resolved against the replayed pool's
+// own frontier at apply time. That keeps one seeded trace meaningful for
+// the relaxed pool and the exact reference even after their states diverge
+// (pop order, and with a capacity bound, eviction choices differ), which is
+// exactly the comparison the fee-loss metric wants.
+
+// OpKind discriminates trace operations.
+type OpKind uint8
+
+const (
+	// OpAdmit admits a new transaction at the sender's admission frontier.
+	OpAdmit OpKind = iota
+	// OpBump replaces a resident transaction of the sender with a bumped
+	// fee (replace-by-fee); applied as a no-op if the sender has no
+	// resident transactions.
+	OpBump
+	// OpPop delivers one transaction.
+	OpPop
+)
+
+// Op is one trace operation. Fee is the admission fee for OpAdmit and the
+// extra fee on top of the minimum bump for OpBump; Arg selects the bump
+// target among the sender's residents.
+type Op struct {
+	Kind   OpKind
+	Sender uint64
+	Fee    uint64
+	Arg    uint64
+}
+
+// WorkloadConfig parameterizes GenOps. Zero values select the defaults
+// noted per field.
+type WorkloadConfig struct {
+	// Ops is the trace length (default 10000).
+	Ops int
+	// Senders is the sender population (default 256), visited with Zipf
+	// exponent Theta (default 0.9 — a few hot senders with long nonce
+	// chains, a long tail of one-shot senders, the shape real fee markets
+	// have).
+	Senders int
+	Theta   float64
+	// PopFrac is the fraction of operations that deliver (default 0.4:
+	// admissions outpace delivery, so the pool grows and eviction pressure
+	// builds when a capacity is set).
+	PopFrac float64
+	// BumpFrac is the fraction of non-pop operations that are
+	// replace-by-fee attempts (default 0.1).
+	BumpFrac float64
+	// FeeMean is the mean of the exponential fee distribution (default
+	// 1000; fees are 1 + round(Exp·FeeMean), clamped to MaxFee — a heavy
+	// enough tail that rank relaxation has revenue to lose).
+	FeeMean float64
+	// Seed seeds the trace generator (default 1).
+	Seed uint64
+}
+
+// WithDefaults returns the configuration GenOps actually runs, zero fields
+// resolved — callers recording a workload's shape (cmd/mempool-sim's JSON
+// point) normalize through this so the record cannot disagree with the
+// trace.
+func (c WorkloadConfig) WithDefaults() WorkloadConfig {
+	if c.Ops == 0 {
+		c.Ops = 10000
+	}
+	if c.Senders == 0 {
+		c.Senders = 256
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.9
+	}
+	if c.PopFrac == 0 {
+		c.PopFrac = 0.4
+	}
+	if c.BumpFrac == 0 {
+		c.BumpFrac = 0.1
+	}
+	if c.FeeMean == 0 {
+		c.FeeMean = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// GenOps generates a seeded intent trace.
+func GenOps(cfg WorkloadConfig) []Op {
+	cfg = cfg.WithDefaults()
+	r := rng.NewXoshiro256(cfg.Seed)
+	zipf := rng.NewZipf(r, cfg.Senders, cfg.Theta)
+	ops := make([]Op, 0, cfg.Ops)
+	fee := func() uint64 {
+		f := 1 + uint64(r.Exp()*cfg.FeeMean)
+		if f > MaxFee {
+			f = MaxFee
+		}
+		return f
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		switch {
+		case r.Bernoulli(cfg.PopFrac):
+			ops = append(ops, Op{Kind: OpPop})
+		case r.Bernoulli(cfg.BumpFrac):
+			ops = append(ops, Op{Kind: OpBump, Sender: uint64(zipf.Next()), Fee: fee() / 4, Arg: r.Next()})
+		default:
+			ops = append(ops, Op{Kind: OpAdmit, Sender: uint64(zipf.Next()), Fee: fee()})
+		}
+	}
+	return ops
+}
+
+// PoolAPI is the replay surface both Pool (through a Handle) and SeqPool
+// provide.
+type PoolAPI interface {
+	Admit(sender, nonce, fee uint64) error
+	Pop() (Tx, bool)
+	NextAdmit(sender uint64) uint64
+	ResidentRange(sender uint64) (lo, hi uint64)
+	Fee(sender, nonce uint64) (uint64, bool)
+}
+
+// Admit on a Handle targets the handle's pool; these forwards complete the
+// PoolAPI surface so a Handle replays traces directly.
+func (h *Handle) Pop() (Tx, bool)                      { return h.p.Pop() }
+func (h *Handle) NextAdmit(s uint64) uint64            { return h.p.NextAdmit(s) }
+func (h *Handle) ResidentRange(s uint64) (a, b uint64) { return h.p.ResidentRange(s) }
+func (h *Handle) Fee(s, n uint64) (uint64, bool)       { return h.p.Fee(s, n) }
+
+// BumpFee computes the minimal accepted replacement fee over old for the
+// given bump factor, saturating at MaxFee: the smallest f with f > old and
+// f·den ≥ old·num, i.e. max(old+1, ⌈old·num/den⌉).
+func BumpFee(old, num, den uint64) uint64 {
+	hi, lo := bits.Mul64(old, num)
+	if hi >= den {
+		return MaxFee // quotient exceeds 64 bits; saturate
+	}
+	f, rem := bits.Div64(hi, lo, den)
+	if rem > 0 {
+		f++
+	}
+	if f <= old {
+		f = old + 1
+	}
+	if f > MaxFee {
+		f = MaxFee
+	}
+	return f
+}
+
+// Applied reports how one intent op resolved against a particular pool:
+// the concrete (Sender, Nonce, Fee) an admission or bump used, the
+// delivered transaction for a pop, and whether the op changed pool state
+// (admission accepted, bump accepted, pop delivered).
+type Applied struct {
+	Kind   OpKind
+	Sender uint64
+	Nonce  uint64
+	Fee    uint64
+	Tx     Tx // delivered transaction, for an applied OpPop
+	OK     bool
+}
+
+// Apply resolves one intent op against p and applies it.
+func Apply(p PoolAPI, op Op, bumpNum, bumpDen uint64) Applied {
+	switch op.Kind {
+	case OpPop:
+		tx, ok := p.Pop()
+		return Applied{Kind: OpPop, Tx: tx, OK: ok}
+	case OpBump:
+		lo, hi := p.ResidentRange(op.Sender)
+		if lo == hi {
+			return Applied{Kind: OpBump, Sender: op.Sender} // nothing resident
+		}
+		nonce := lo + op.Arg%(hi-lo)
+		old, ok := p.Fee(op.Sender, nonce)
+		if !ok {
+			return Applied{Kind: OpBump, Sender: op.Sender}
+		}
+		fee := BumpFee(old, bumpNum, bumpDen)
+		if fee <= MaxFee-op.Fee {
+			fee += op.Fee
+		}
+		err := p.Admit(op.Sender, nonce, fee)
+		return Applied{Kind: OpBump, Sender: op.Sender, Nonce: nonce, Fee: fee, OK: err == nil}
+	default:
+		nonce := p.NextAdmit(op.Sender)
+		err := p.Admit(op.Sender, nonce, op.Fee)
+		return Applied{Kind: OpAdmit, Sender: op.Sender, Nonce: nonce, Fee: op.Fee, OK: err == nil}
+	}
+}
