@@ -22,30 +22,47 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/dlzd"
+	"repro/internal/pad"
 	"repro/internal/rng"
 )
 
-func postJSON(client *http.Client, url string, body, out any) (int, error) {
+// postJSON posts body and decodes a 2xx response into out. On a non-2xx it
+// surfaces what the retry policy needs: the server's Retry-After hint (zero
+// when absent) and the error body's message (which distinguishes a load shed
+// from an exhausted quota or a busy session at the same status code).
+func postJSON(client *http.Client, url string, body, out any) (code int, retryAfter time.Duration, errMsg string, err error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, 0, "", err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
 	if err != nil {
-		return 0, err
+		return 0, 0, "", err
 	}
 	defer resp.Body.Close()
-	if out != nil && resp.StatusCode/100 == 2 {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+	if resp.StatusCode/100 == 2 {
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, 0, "", err
+			}
 		}
+		return resp.StatusCode, 0, "", nil
 	}
-	return resp.StatusCode, nil
+	if secs, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	var e dlzd.ErrorResponse
+	if json.NewDecoder(resp.Body).Decode(&e) == nil {
+		errMsg = e.Error
+	}
+	return resp.StatusCode, retryAfter, errMsg, nil
 }
 
 func main() {
@@ -60,7 +77,11 @@ func main() {
 		prioSpace  = flag.Int("prio-space", 1<<20, "priority key universe")
 		seed       = flag.Uint64("seed", 99, "workload seed")
 		quiet      = flag.Bool("quiet", false, "suppress per-tenant stats")
-		maxRetries = flag.Int("max-429-retries", 64, "give up after this many consecutive backpressure rejections")
+		maxRetries = flag.Int("max-retries", 64, "give up after this many consecutive 429/503 rejections")
+		retryBase  = flag.Duration("retry-base", 0, "first retry's maximum jittered delay (0 = 5ms)")
+		retryCap   = flag.Duration("retry-cap", 0, "retry delay growth cap (0 = 1s)")
+		raMax      = flag.Duration("retry-after-max", 0,
+			"cap on the honored Retry-After hint — the shed ladder hints whole seconds, which a polite client honors fully but a saturation benchmark may bound (0 = honor fully)")
 	)
 	flag.Parse()
 	if *tenants < 1 || *workers < 1 || *batch < 1 || *batch > dlzd.MaxWireBatch {
@@ -72,6 +93,9 @@ func main() {
 		wg        sync.WaitGroup
 		opCount   atomic.Int64
 		rejected  atomic.Int64
+		retries   atomic.Int64 // jittered retry sleeps taken
+		sheds     atomic.Int64 // rejections that were adaptive load sheds
+		busy      atomic.Int64 // 503 session-busy rejections
 		enqueued  = make([]atomic.Int64, *tenants)
 		dequeued  = make([]atomic.Int64, *tenants)
 		deltaSums = make([]atomic.Uint64, *tenants)
@@ -87,11 +111,18 @@ func main() {
 			tenantZipf := rng.NewZipf(r, *tenants, *thetaT)
 			prioZipf := rng.NewZipf(r, *prioSpace, *thetaP)
 			session := fmt.Sprintf("load-w%d", w)
-			backoffs := 0
+			// Full-jitter exponential backoff for 429/503 rejections, honoring
+			// the server's Retry-After as the delay floor — the shed rungs hint
+			// 1/2/4s precisely so a rejected fleet spreads out instead of
+			// re-synchronizing into the herd that caused the shedding.
+			bo := pad.NewRetryBackoff(*retryBase, *retryCap, *seed+uint64(w))
+			consecutive := 0
 			for i := 0; i < perWorker; i++ {
 				tn := tenantZipf.Next() // Zipf variates are already 0-based
 				base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
 				var code int
+				var retryAfter time.Duration
+				var errMsg string
 				var err error
 				switch r.Intn(4) {
 				case 0, 1:
@@ -101,14 +132,14 @@ func main() {
 						p := uint64(prioZipf.Next())
 						items[j] = dlzd.WireItem{Priority: p, Value: p}
 					}
-					code, err = postJSON(client, base+"/enqueue-batch",
+					code, retryAfter, errMsg, err = postJSON(client, base+"/enqueue-batch",
 						dlzd.EnqueueBatchRequest{Session: session, Items: items}, nil)
 					if code == http.StatusOK {
 						enqueued[tn].Add(int64(n))
 					}
 				case 2:
 					var deq dlzd.DeleteMinResponse
-					code, err = postJSON(client, base+"/delete-min-up-to",
+					code, retryAfter, errMsg, err = postJSON(client, base+"/delete-min-up-to",
 						dlzd.DeleteMinRequest{Session: session, Max: 1 + r.Intn(*batch)}, &deq)
 					if code == http.StatusOK {
 						dequeued[tn].Add(int64(len(deq.Items)))
@@ -121,7 +152,7 @@ func main() {
 						deltas[j] = 1 + r.Uint64n(100)
 						sum += deltas[j]
 					}
-					code, err = postJSON(client, base+"/counter/add-batch",
+					code, retryAfter, errMsg, err = postJSON(client, base+"/counter/add-batch",
 						dlzd.CounterAddRequest{Session: session, Deltas: deltas}, nil)
 					if code == http.StatusOK {
 						deltaSums[tn].Add(sum)
@@ -132,28 +163,41 @@ func main() {
 					return
 				}
 				switch {
-				case code == http.StatusTooManyRequests:
-					// Backpressure: brief pause, then retry pressure organically
-					// with the next drawn operation.
+				case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+					// Backpressure or a busy session: sleep the jittered
+					// window (at least Retry-After), then press on with the
+					// next drawn operation.
 					rejected.Add(1)
-					backoffs++
-					if backoffs > *maxRetries {
-						log.Printf("worker %d: giving up after %d consecutive 429s", w, backoffs)
+					if strings.Contains(errMsg, "shed") {
+						sheds.Add(1)
+					}
+					if code == http.StatusServiceUnavailable {
+						busy.Add(1)
+					}
+					consecutive++
+					if consecutive > *maxRetries {
+						log.Printf("worker %d: giving up after %d consecutive rejections (last: %d %s)",
+							w, consecutive, code, errMsg)
 						return
 					}
-					time.Sleep(time.Duration(backoffs) * time.Millisecond)
+					if *raMax > 0 && retryAfter > *raMax {
+						retryAfter = *raMax
+					}
+					retries.Add(1)
+					time.Sleep(bo.Next(retryAfter))
 				case code != http.StatusOK:
-					log.Printf("worker %d: unexpected status %d", w, code)
+					log.Printf("worker %d: unexpected status %d (%s)", w, code, errMsg)
 					return
 				default:
-					backoffs = 0
+					consecutive = 0
+					bo.Reset()
 					opCount.Add(1)
 				}
 			}
 			// Flush the worker's leases on every tenant it may have touched.
 			for tn := 0; tn < *tenants; tn++ {
 				base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
-				if _, err := postJSON(client, base+"/session/close",
+				if _, _, _, err := postJSON(client, base+"/session/close",
 					dlzd.SessionCloseRequest{Session: session}, nil); err != nil {
 					log.Printf("worker %d: close tenant %d: %v", w, tn, err)
 				}
@@ -163,9 +207,9 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("dlzd-load: %d ops in %v (%.0f ops/s), %d backpressure rejections\n",
+	fmt.Printf("dlzd-load: %d ops in %v (%.0f ops/s), %d rejections (%d shed, %d busy-503), %d jittered retries\n",
 		opCount.Load(), elapsed.Round(time.Millisecond),
-		float64(opCount.Load())/elapsed.Seconds(), rejected.Load())
+		float64(opCount.Load())/elapsed.Seconds(), rejected.Load(), sheds.Load(), busy.Load(), retries.Load())
 	if *quiet {
 		return
 	}

@@ -7,8 +7,15 @@
 //
 //	dlzd -addr :8377 -queues 64 -batch 8 -stickiness 16
 //
+// The degradation ladder (DESIGN.md §10) is flag-controlled: socket-level
+// limits (-http-read-timeout, -http-read-header-timeout, -http-write-timeout,
+// -http-max-header-bytes) default on, while the per-request deadline
+// (-request-timeout) and adaptive load shedding (-shed-target, -shed-hold)
+// default off so the default flags reproduce the pre-hardening daemon.
+//
 // Drive it with cmd/dlzd-load; scrape GET /metrics for the elision,
-// spin-backoff and sampler-reroll counters.
+// spin-backoff and sampler-reroll counters plus the degradation-ladder
+// series (shed level, busy/deadline/panic counters).
 package main
 
 import (
@@ -41,6 +48,25 @@ func main() {
 		quotaOps    = flag.Uint64("quota-ops", 0, "per-tenant lifetime operation quota (0 = unlimited)")
 		idle        = flag.Duration("idle-timeout", 30*time.Second, "lease idle expiry (0 = never)")
 		seed        = flag.Uint64("seed", 1, "structure/handle seed sequence origin")
+
+		// Request-hardening knobs (DESIGN.md §10). The per-request deadline and
+		// adaptive shedding default off so the flag defaults reproduce the
+		// pre-hardening daemon exactly; the HTTP server limits default on,
+		// because a socket-level slowloris needs no failpoint to happen.
+		reqTimeout = flag.Duration("request-timeout", 0,
+			"per-request handler deadline: 503 busy when the session lease is not lockable in time, partial results past it (0 = no deadline)")
+		shedTarget = flag.Duration("shed-target", 0,
+			"adaptive load shedding latency target: above it a tenant sheds up to 3/4 of mutating requests with 429+Retry-After (0 = disabled)")
+		shedHold = flag.Duration("shed-hold", 100*time.Millisecond,
+			"minimum dwell between adaptive shed level changes")
+		readTimeout = flag.Duration("http-read-timeout", 30*time.Second,
+			"http.Server ReadTimeout: whole-request read deadline (0 = none)")
+		readHeaderTimeout = flag.Duration("http-read-header-timeout", 10*time.Second,
+			"http.Server ReadHeaderTimeout: header read deadline, the slowloris bound (0 = ReadTimeout)")
+		writeTimeout = flag.Duration("http-write-timeout", 30*time.Second,
+			"http.Server WriteTimeout: response write deadline (0 = none)")
+		maxHeaderBytes = flag.Int("http-max-header-bytes", 1<<20,
+			"http.Server MaxHeaderBytes: request header size cap")
 	)
 	flag.Parse()
 
@@ -51,23 +77,33 @@ func main() {
 	}
 
 	srv := dlzd.New(dlzd.Config{
-		Queues:      *queues,
-		Backing:     backing,
-		Capacity:    *capacity,
-		Choices:     *choices,
-		Stickiness:  *stickiness,
-		Batch:       *batch,
-		Affinity:    *affinity,
-		MaxTenants:  *maxTenants,
-		MaxInFlight: *maxInflight,
-		QuotaOps:    *quotaOps,
-		IdleTimeout: *idle,
-		Seed:        *seed,
+		Queues:         *queues,
+		Backing:        backing,
+		Capacity:       *capacity,
+		Choices:        *choices,
+		Stickiness:     *stickiness,
+		Batch:          *batch,
+		Affinity:       *affinity,
+		MaxTenants:     *maxTenants,
+		MaxInFlight:    *maxInflight,
+		QuotaOps:       *quotaOps,
+		IdleTimeout:    *idle,
+		RequestTimeout: *reqTimeout,
+		ShedTarget:     *shedTarget,
+		ShedHold:       *shedHold,
+		Seed:           *seed,
 	})
 	stopJanitor := srv.StartJanitor(0)
 	defer stopJanitor()
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -1,0 +1,483 @@
+//go:build dlzfail
+
+package dlzd
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/dlz"
+	"repro/internal/fail"
+)
+
+// chaosSeed seeds both the failpoint schedule (fail.SetSeed) and the chaos
+// conductor's round sequence. The CI chaos job runs the fixed default plus a
+// randomized seed; any failing seed reproduces its schedule exactly.
+var chaosSeed = flag.Int64("chaosseed", 1, "seed for the chaos fault schedule")
+
+// TestChaosSoak drives 4 tenants of live wire traffic while a seeded
+// conductor cycles fault regimes over the failpoint layer — injected handler
+// panics, critical-section and publication delays, a handler stall, try-path
+// refusal storms, close-ladder faults and forced lease expiry sweeps — then
+// runs a deterministic coverage pass that provably fires every fault kind,
+// quiesces, and asserts exact conservation from the server's defer-committed
+// ledger: QueueLen == OpsEnqueued − OpsDequeued, CounterExact ==
+// CounterDeltaSum, QuotaUsed == OpsMetered, zero surviving leases, zero
+// repair failures. A final stage exercises interior removal under the same
+// structural faults and asserts Invalidations == Reclaimed after the drain.
+// Run with -race; reproduce a failure with its printed -chaosseed.
+func TestChaosSoak(t *testing.T) {
+	const (
+		tenants          = 4
+		workersPerTenant = 2
+		itersPerWorker   = 150
+	)
+	t.Logf("chaos schedule seed %d", *chaosSeed)
+	fail.Reset()
+	defer fail.Reset()
+	fail.SetSeed(uint64(*chaosSeed))
+
+	s := New(Config{
+		Queues:         8,
+		Batch:          8,
+		Stickiness:     16,
+		Choices:        2,
+		Seed:           42,
+		RequestTimeout: 500 * time.Millisecond,
+		ShedTarget:     5 * time.Millisecond,
+	})
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	c := &testClient{t: t, srv: hs}
+
+	// Conductor: one fault regime per round while the workers run. Fires are
+	// accumulated per kind for the log; coverage is *proven* afterwards by
+	// the deterministic pass, so the random phase never flakes on timing.
+	var (
+		stop        = make(chan struct{})
+		conductorWG sync.WaitGroup
+		kindFires   = map[string]uint64{} // conductor-goroutine-local until joined
+	)
+	conductorWG.Add(1)
+	go func() {
+		defer conductorWG.Done()
+		r := rand.New(rand.NewSource(*chaosSeed))
+		collect := func(kind string, sites ...string) {
+			for _, site := range sites {
+				kindFires[kind] += fail.Fires(site)
+			}
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch r.Intn(5) {
+			case 0: // handler and flush panics (repaired by the envelope)
+				fail.Arm(fail.SiteDlzdEnqueueItem, fail.Policy{Kind: fail.KindPanic, After: uint64(r.Intn(16)), Count: 2})
+				fail.Arm(fail.SiteCoreFlush, fail.Policy{Kind: fail.KindPanic, Count: 1})
+				time.Sleep(15 * time.Millisecond)
+				collect("panic", fail.SiteDlzdEnqueueItem, fail.SiteCoreFlush)
+			case 1: // critical-section, publication and response delays
+				fail.Arm(fail.SitePadLockHold, fail.Policy{Kind: fail.KindDelay, Delay: time.Millisecond, Count: 16})
+				fail.Arm(fail.SiteCPQTopPublish, fail.Policy{Kind: fail.KindDelay, Delay: time.Millisecond, Count: 16})
+				fail.Arm(fail.SiteDlzdHandlerPost, fail.Policy{Kind: fail.KindDelay, Delay: 8 * time.Millisecond, Count: 4})
+				time.Sleep(15 * time.Millisecond)
+				collect("delay", fail.SitePadLockHold, fail.SiteCPQTopPublish, fail.SiteDlzdHandlerPost)
+			case 2: // stall one admitted request, release at round end
+				fail.Arm(fail.SiteDlzdHandlerPre, fail.Policy{Kind: fail.KindStall, Count: 1})
+				time.Sleep(15 * time.Millisecond)
+				fail.Release(fail.SiteDlzdHandlerPre)
+				collect("stall", fail.SiteDlzdHandlerPre)
+			case 3: // refusal/reroll storms plus close-ladder faults
+				fail.Arm(fail.SiteCPQTryRefuse, fail.Policy{Kind: fail.KindError, Prob: 0.3})
+				fail.Arm(fail.SiteCoreReroll, fail.Policy{Kind: fail.KindError, Prob: 0.3})
+				fail.Arm(fail.SiteDlzdLeaseClose, fail.Policy{Kind: fail.KindError, Count: 3})
+				time.Sleep(15 * time.Millisecond)
+				collect("error", fail.SiteCPQTryRefuse, fail.SiteCoreReroll, fail.SiteDlzdLeaseClose)
+			case 4: // forced expiry sweep racing live requests
+				fail.Arm(fail.SiteDlzdJanitor, fail.Policy{Kind: fail.KindDelay, Delay: 2 * time.Millisecond, Count: 8})
+				kindFires["expiry"] += uint64(s.ExpireIdle(time.Now()))
+				time.Sleep(5 * time.Millisecond)
+				collect("delay", fail.SiteDlzdJanitor)
+			}
+			fail.Reset()
+		}
+	}()
+
+	// Workers: live traffic that tolerates every rung of the degradation
+	// ladder (429 shed, 503 busy/deadline, 500 injected) — only transport
+	// failures and corrupted payloads are errors.
+	var wg sync.WaitGroup
+	workers := tenants * workersPerTenant
+	wg.Add(workers)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			tenantID := w % tenants
+			base := fmt.Sprintf("/v1/chaos%d", tenantID)
+			r := rand.New(rand.NewSource(*chaosSeed ^ int64(w)<<32))
+			session := fmt.Sprintf("w%d", w)
+			for i := 0; i < itersPerWorker; i++ {
+				switch r.Intn(6) {
+				case 0, 1:
+					n := 1 + r.Intn(8)
+					items := make([]WireItem, n)
+					for j := range items {
+						p := r.Uint64()
+						items[j] = WireItem{Priority: p, Value: p ^ 0xD1CE}
+					}
+					c.post(base+"/enqueue-batch", EnqueueBatchRequest{Session: session, Items: items}, nil)
+				case 2:
+					var deq DeleteMinResponse
+					if code := c.post(base+"/delete-min-up-to", DeleteMinRequest{Session: session, Max: 1 + r.Intn(8)}, &deq); code == http.StatusOK {
+						for _, it := range deq.Items {
+							if it.Value != it.Priority^0xD1CE {
+								select {
+								case errs <- fmt.Errorf("worker %d: corrupted element %+v", w, it):
+								default:
+								}
+								return
+							}
+						}
+					}
+				case 3:
+					n := 1 + r.Intn(4)
+					deltas := make([]uint64, n)
+					for j := range deltas {
+						deltas[j] = uint64(1 + r.Intn(100))
+					}
+					c.post(base+"/counter/add-batch", CounterAddRequest{Session: session, Deltas: deltas}, nil)
+				case 4:
+					c.get(base+"/counter/read?session="+session, nil)
+				case 5:
+					if r.Intn(8) == 0 {
+						c.post(base+"/session/close", SessionCloseRequest{Session: session}, nil)
+					} else {
+						c.get(base+"/stats", nil)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	conductorWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	t.Logf("random phase fires: %v", kindFires)
+
+	// Deterministic coverage pass: fire every fault kind at least once with
+	// targeted requests, independent of how the random phase was scheduled.
+	coverageFires := chaosCoveragePass(t, c)
+
+	// Quiesce: no armed faults, every lease reaped through the close ladder.
+	fail.Reset()
+	expired := s.ExpireIdle(time.Now().Add(time.Hour))
+	kindFires["expiry"] += uint64(expired)
+	if kindFires["expiry"] == 0 {
+		t.Error("no lease was ever force-expired — the forced-expiry fault kind lost coverage")
+	}
+	for kind, n := range coverageFires {
+		if n == 0 {
+			t.Errorf("fault kind %q did not fire in the deterministic coverage pass", kind)
+		}
+	}
+
+	var totalPanics uint64
+	for i := 0; i < tenants; i++ {
+		var st StatsResponse
+		if code := c.get(fmt.Sprintf("/v1/chaos%d/stats", i), &st); code != http.StatusOK {
+			t.Fatalf("tenant %d stats = %d", i, code)
+		}
+		if st.Leases != 0 {
+			t.Errorf("tenant %d: %d leases survived the sweep", i, st.Leases)
+		}
+		if st.RepairFailures != 0 {
+			t.Errorf("tenant %d: %d lease retirements exhausted the repair ladder", i, st.RepairFailures)
+		}
+		if int64(st.QueueLen) != int64(st.OpsEnqueued)-int64(st.OpsDequeued) {
+			t.Errorf("tenant %d: queue conservation violated: Len=%d, applied enq-deq=%d-%d",
+				i, st.QueueLen, st.OpsEnqueued, st.OpsDequeued)
+		}
+		if st.CounterExact != st.CounterDeltaSum {
+			t.Errorf("tenant %d: counter conservation violated: Exact=%d, applied delta sum=%d",
+				i, st.CounterExact, st.CounterDeltaSum)
+		}
+		if st.QuotaUsed != st.OpsMetered {
+			t.Errorf("tenant %d: quota meter drifted: QuotaUsed=%d, metered=%d",
+				i, st.QuotaUsed, st.OpsMetered)
+		}
+		if st.Invalidations != st.Reclaimed {
+			t.Errorf("tenant %d: tombstones leaked: armed=%d, reclaimed=%d",
+				i, st.Invalidations, st.Reclaimed)
+		}
+		if st.BufferedEnqueues != 0 || st.BufferedCounterOps != 0 || st.PrefetchedDequeues != 0 {
+			t.Errorf("tenant %d: handle-local state survived the sweep: %+v", i, st)
+		}
+		totalPanics += st.PanicsRecovered
+	}
+	if totalPanics == 0 {
+		t.Error("no handler panic was recovered despite injected panic policies")
+	}
+
+	// Final stage: interior removal under structural chaos. The wire API has
+	// no remove endpoint, so this stage drives the dlz layer directly with
+	// the cpq/pad fault regime armed, preserving the ElemRef residency
+	// contract (each goroutine removes only its own refs, and nothing
+	// dequeues until removals are done).
+	removeChaosStage(t)
+}
+
+// chaosCoveragePass arms one Count-bounded policy per fault kind and drives a
+// request guaranteed to traverse it, returning observed fires per kind. It
+// runs against tenant chaos0 with a dedicated session token.
+func chaosCoveragePass(t *testing.T, c *testClient) map[string]uint64 {
+	t.Helper()
+	fires := map[string]uint64{}
+	const base = "/v1/chaos0"
+	batch := EnqueueBatchRequest{Session: "coverage", Items: wireItems(1, 2, 3)}
+
+	// panic: first enqueued item faults, envelope answers 500 and repairs.
+	fail.Reset()
+	fail.Arm(fail.SiteDlzdEnqueueItem, fail.Policy{Kind: fail.KindPanic, Count: 1})
+	if code := c.post(base+"/enqueue-batch", batch, nil); code != http.StatusInternalServerError {
+		t.Errorf("coverage panic request = %d, want 500", code)
+	}
+	fires["panic"] = fail.Fires(fail.SiteDlzdEnqueueItem)
+
+	// delay: response path sleeps once.
+	fail.Reset()
+	fail.Arm(fail.SiteDlzdHandlerPost, fail.Policy{Kind: fail.KindDelay, Delay: 2 * time.Millisecond, Count: 1})
+	c.post(base+"/enqueue-batch", batch, nil)
+	fires["delay"] = fail.Fires(fail.SiteDlzdHandlerPost)
+
+	// stall: one request parks at admission until released.
+	fail.Reset()
+	fail.Arm(fail.SiteDlzdHandlerPre, fail.Policy{Kind: fail.KindStall, Count: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.get(base+"/stats", nil)
+	}()
+	for i := 0; fail.Fires(fail.SiteDlzdHandlerPre) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	fires["stall"] = fail.Fires(fail.SiteDlzdHandlerPre)
+	fail.Release(fail.SiteDlzdHandlerPre)
+	<-done
+
+	// error: the close ladder's first retirement attempt is refused once,
+	// the second succeeds.
+	fail.Reset()
+	fail.Arm(fail.SiteDlzdLeaseClose, fail.Policy{Kind: fail.KindError, Count: 1})
+	if code := c.post(base+"/session/close", SessionCloseRequest{Session: "coverage"}, nil); code != http.StatusOK {
+		t.Errorf("coverage close = %d, want 200", code)
+	}
+	fires["error"] = fail.Fires(fail.SiteDlzdLeaseClose)
+	fail.Reset()
+	return fires
+}
+
+// removeChaosStage is TestChaosSoak's Invalidations == Reclaimed stage: G
+// goroutines insert located elements and remove half of them while try-path
+// refusals, reroll storms and critical-section delays are armed, then a
+// drain empties the structure and the tombstone ledger must balance exactly.
+func removeChaosStage(t *testing.T) {
+	fail.Reset()
+	defer fail.Reset()
+	fail.SetSeed(uint64(*chaosSeed))
+	fail.Arm(fail.SiteCPQTryRefuse, fail.Policy{Kind: fail.KindError, Prob: 0.3})
+	fail.Arm(fail.SiteCoreReroll, fail.Policy{Kind: fail.KindError, Prob: 0.3})
+	fail.Arm(fail.SitePadLockHold, fail.Policy{Kind: fail.KindDelay, Delay: 100 * time.Microsecond, Count: 64})
+	fail.Arm(fail.SiteCPQTopPublish, fail.Policy{Kind: fail.KindDelay, Delay: 100 * time.Microsecond, Count: 64})
+
+	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{Queues: 4, Seed: uint64(*chaosSeed) | 1, Capacity: 256})
+	const goroutines, perG = 4, 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	removed := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			h := q.NewHandle(uint64(g) + 100)
+			defer h.Close()
+			refs := make([]dlz.ElemRef, 0, perG)
+			for i := 0; i < perG; i++ {
+				v := uint64(g*perG + i + 1) // unique values, per the ElemRef contract
+				refs = append(refs, h.EnqueuePriorityRef(uint64(1+i), v))
+			}
+			for i := 0; i < perG/2; i++ {
+				if h.Remove(refs[i*2]) {
+					removed[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	totalRemoved := 0
+	for _, n := range removed {
+		totalRemoved += n
+	}
+	drained := 0
+	h := q.NewHandle(1)
+	defer h.Close()
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		drained++
+	}
+	if want := goroutines*perG - totalRemoved; drained != want {
+		t.Errorf("remove stage conservation violated: drained %d, want %d (removed %d)", drained, want, totalRemoved)
+	}
+	st := q.Stats()
+	if st.Invalidations != uint64(totalRemoved) || st.Invalidations != st.Reclaimed {
+		t.Errorf("tombstone ledger imbalanced: armed=%d reclaimed=%d removed=%d",
+			st.Invalidations, st.Reclaimed, totalRemoved)
+	}
+}
+
+// TestHandlerPanicMidBatch is the regression pin for the repair envelope: a
+// handler panicking halfway through an enqueue batch must (a) answer 500,
+// (b) commit exactly the items applied before the fault, (c) strand no
+// buffered element — the repair flush publishes them, (d) leak no in-flight
+// budget, and (e) leave the session token immediately serviceable.
+func TestHandlerPanicMidBatch(t *testing.T) {
+	fail.Reset()
+	defer fail.Reset()
+	// MaxInFlight 1: a leaked in-flight slot would make every later request
+	// fail 429, so (d) is load-bearing for the rest of the test.
+	_, c := newTestClient(t, Config{Queues: 4, Batch: 8, Stickiness: 8, MaxInFlight: 1, Seed: 7})
+
+	const applyBefore = 5
+	fail.Arm(fail.SiteDlzdEnqueueItem, fail.Policy{Kind: fail.KindPanic, After: applyBefore, Count: 1})
+	code := c.post("/v1/t/enqueue-batch",
+		EnqueueBatchRequest{Session: "s1", Items: wireItems(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)}, nil)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("mid-batch panic answered %d, want 500", code)
+	}
+
+	// (e)+(d): the same token serves the very next request.
+	var enq EnqueueBatchResponse
+	if code := c.post("/v1/t/enqueue-batch",
+		EnqueueBatchRequest{Session: "s1", Items: wireItems(11, 12)}, &enq); code != http.StatusOK {
+		t.Fatalf("request after repaired panic = %d, want 200", code)
+	}
+
+	var st StatsResponse
+	if code := c.get("/v1/t/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.PanicsRecovered != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", st.PanicsRecovered)
+	}
+	if want := uint64(applyBefore + 2); st.OpsEnqueued != want {
+		t.Errorf("OpsEnqueued = %d, want %d (items before the panic plus the follow-up)", st.OpsEnqueued, want)
+	}
+	// (c): nothing stranded — after closing the session every applied item
+	// is published and conservation is exact.
+	if code := c.post("/v1/t/session/close", SessionCloseRequest{Session: "s1"}, nil); code != http.StatusOK {
+		t.Fatalf("close = %d", code)
+	}
+	if code := c.get("/v1/t/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if int64(st.QueueLen) != int64(st.OpsEnqueued)-int64(st.OpsDequeued) {
+		t.Errorf("conservation violated after repair: Len=%d enq=%d deq=%d",
+			st.QueueLen, st.OpsEnqueued, st.OpsDequeued)
+	}
+	if st.RepairFailures != 0 {
+		t.Errorf("RepairFailures = %d, want 0", st.RepairFailures)
+	}
+}
+
+// TestJanitorExpiryRace pins the expiry sweep against live traffic: with the
+// janitor's delink-to-close window stretched by an injected delay and close
+// ladders faulting, concurrent requests keep using the tokens being expired.
+// Every race resolution is legal (a request lands on the old lease before
+// its close, or opens a fresh lease); what must hold afterwards is exact
+// conservation and a clean lease ledger.
+func TestJanitorExpiryRace(t *testing.T) {
+	fail.Reset()
+	defer fail.Reset()
+	fail.SetSeed(uint64(*chaosSeed))
+	s, c := newTestClient(t, Config{Queues: 4, Batch: 8, Stickiness: 8, Seed: 11})
+
+	fail.Arm(fail.SiteDlzdJanitor, fail.Policy{Kind: fail.KindDelay, Delay: 500 * time.Microsecond})
+	// Every-other-attempt refusal: a retirement ladder can lose at most
+	// half its retireAttempts tries, so it always converges — a Prob-based
+	// policy could (rarely) fire 8 straight times and exhaust the ladder.
+	fail.Arm(fail.SiteDlzdLeaseClose, fail.Policy{Kind: fail.KindError, Every: 2, Count: 40})
+	fail.Arm(fail.SiteCoreFlush, fail.Policy{Kind: fail.KindPanic, Every: 7, Count: 10})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the janitor, sweeping everything it sees, continuously
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.ExpireIdle(time.Now())
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	const workers = 4
+	var workerWG sync.WaitGroup
+	workerWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer workerWG.Done()
+			session := fmt.Sprintf("race%d", w)
+			for i := 0; i < 120; i++ {
+				c.post("/v1/janitor/enqueue-batch",
+					EnqueueBatchRequest{Session: session, Items: wireItems(uint64(i + 1))}, nil)
+				if i%3 == 0 {
+					c.post("/v1/janitor/delete-min-up-to", DeleteMinRequest{Session: session, Max: 2}, nil)
+				}
+			}
+			if w == 0 { // one worker also closes explicitly, racing the sweeps
+				c.post("/v1/janitor/session/close", SessionCloseRequest{Session: session}, nil)
+			}
+		}(w)
+	}
+	workerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	fail.Reset()
+	s.ExpireIdle(time.Now().Add(time.Hour))
+	var st StatsResponse
+	if code := c.get("/v1/janitor/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.Leases != 0 {
+		t.Errorf("%d leases survived the final sweep", st.Leases)
+	}
+	if st.RepairFailures != 0 {
+		t.Errorf("RepairFailures = %d, want 0", st.RepairFailures)
+	}
+	if int64(st.QueueLen) != int64(st.OpsEnqueued)-int64(st.OpsDequeued) {
+		t.Errorf("conservation violated under expiry races: Len=%d enq=%d deq=%d",
+			st.QueueLen, st.OpsEnqueued, st.OpsDequeued)
+	}
+	if st.BufferedEnqueues != 0 || st.PrefetchedDequeues != 0 {
+		t.Errorf("handle-local state survived the sweep: %+v", st)
+	}
+}

@@ -27,15 +27,18 @@
 package dlzd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cpq"
+	"repro/internal/fail"
 )
 
 // MaxWireBatch bounds the item count of a single wire request (enqueue
@@ -80,6 +83,25 @@ type Config struct {
 	// explicit ExpireIdle sweep. 0 disables time-based expiry (leases then
 	// live until session close or server Close).
 	IdleTimeout time.Duration
+	// RequestTimeout is the per-request deadline, propagated to the handlers
+	// through the request context: a handler that cannot acquire its session
+	// lease within the deadline answers 503 busy, an enqueue loop that
+	// overruns it aborts with its partial count committed, and a dequeue loop
+	// returns the elements drained so far as a truncated 200. 0 disables
+	// per-request deadlines (handlers then block as long as the work takes,
+	// the pre-hardening behavior).
+	RequestTimeout time.Duration
+	// ShedTarget enables adaptive load shedding (DESIGN.md §10): when a
+	// tenant's EWMA of mutating-request latency exceeds this target, its shed
+	// level escalates one step (up to 3), and level/4 of subsequent mutating
+	// requests are rejected with 429 plus a Retry-After header of 2^(level−1)
+	// seconds; the level steps back down once the EWMA falls below half the
+	// target. 0 disables adaptive shedding, leaving MaxInFlight as the only
+	// (static) backpressure.
+	ShedTarget time.Duration
+	// ShedHold is the minimum dwell between shed level changes, damping
+	// oscillation (default 100ms).
+	ShedHold time.Duration
 	// Seed feeds the structure and handle seed sequence (default 1).
 	Seed uint64
 }
@@ -116,6 +138,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Choices < 0 {
 		panic("dlzd: Config.Choices must be >= 0")
+	}
+	if cfg.ShedTarget > 0 && cfg.ShedHold <= 0 {
+		cfg.ShedHold = 100 * time.Millisecond
 	}
 	if !(cfg.Affinity >= 0 && cfg.Affinity <= 1) { // rejects NaN too
 		panic("dlzd: Config.Affinity must be in [0, 1]")
@@ -256,8 +281,20 @@ func validTenantName(name string) bool {
 	return true
 }
 
+// opCtx threads the lease a handler acquired back to serveTenantOp's
+// recovery envelope: handlers set l right after acquisition and never
+// release it themselves, so exactly one place — the envelope — decides
+// between a normal release (done) and a post-panic repair, and lease.mu can
+// never be left held by a faulting handler.
+type opCtx struct {
+	l *lease
+}
+
 // serveTenantOp dispatches one /v1/{tenant}/{op} request through the
-// backpressure gate.
+// degradation ladder (DESIGN.md §10): static in-flight backpressure, then
+// adaptive load shedding, then the per-request deadline, with the handler
+// itself running under a panic-recovery envelope that repairs the session
+// lease (flush-or-close) before answering 500.
 func (s *Server) serveTenantOp(w http.ResponseWriter, r *http.Request, rest string) {
 	name, op, ok := strings.Cut(rest, "/")
 	if !ok || !validTenantName(name) {
@@ -270,20 +307,65 @@ func (s *Server) serveTenantOp(w http.ResponseWriter, r *http.Request, rest stri
 		return
 	}
 	if !t.acquire() {
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "tenant in-flight budget exceeded")
 		return
 	}
 	defer t.release()
+	mutating := op == "enqueue-batch" || op == "delete-min-up-to" || op == "counter/add-batch"
+	if mutating {
+		if retryAfter, shed := t.shed(); shed {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeError(w, http.StatusTooManyRequests, "load shed")
+			return
+		}
+	}
+	if d := s.cfg.RequestTimeout; d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	start := time.Now()
+	oc := &opCtx{}
+	defer func() {
+		rec := recover()
+		if oc.l != nil {
+			if rec != nil {
+				t.repair(oc.l)
+			} else {
+				oc.l.done()
+			}
+		}
+		if mutating {
+			t.observeLatency(time.Since(start))
+		}
+		if rec != nil {
+			site, injected := fail.IsInjectedPanic(rec)
+			if !injected {
+				// A genuine bug: the lease is repaired and released, but the
+				// panic is re-raised so it is reported, not absorbed.
+				panic(rec)
+			}
+			t.panicsRecovered.Add(1)
+			writeError(w, http.StatusInternalServerError, "handler fault at "+site+"; session repaired")
+		}
+	}()
+	if fail.Enabled {
+		if err := fail.Inject(fail.SiteDlzdHandlerPre); err != nil {
+			writeError(w, http.StatusInternalServerError, "injected fault before handler")
+			return
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
 	switch op {
 	case "enqueue-batch":
-		s.handleEnqueueBatch(w, r, t)
+		s.handleEnqueueBatch(w, r, t, oc)
 	case "delete-min-up-to":
-		s.handleDeleteMinUpTo(w, r, t)
+		s.handleDeleteMinUpTo(w, r, t, oc)
 	case "counter/add-batch":
-		s.handleCounterAdd(w, r, t)
+		s.handleCounterAdd(w, r, t, oc)
 	case "counter/read":
-		s.handleCounterRead(w, r, t)
+		s.handleCounterRead(w, r, t, oc)
 	case "session/close":
 		s.handleSessionClose(w, r, t)
 	case "stats":
@@ -291,6 +373,30 @@ func (s *Server) serveTenantOp(w http.ResponseWriter, r *http.Request, rest stri
 	default:
 		writeError(w, http.StatusNotFound, "unknown operation")
 	}
+}
+
+// finish writes a mutating handler's success response through the
+// dlzd/handler/post failpoint: an injected error or panic there models the
+// classic applied-but-unacknowledged fault — the operations are committed
+// (their counters are defer-committed by the handler) but the client sees a
+// 500 instead of the success body.
+func (s *Server) finish(w http.ResponseWriter, v any) {
+	if fail.Enabled {
+		if err := fail.Inject(fail.SiteDlzdHandlerPost); err != nil {
+			writeError(w, http.StatusInternalServerError, "injected fault before response")
+			return
+		}
+	}
+	writeJSON(w, v)
+}
+
+// writeBusy answers a request whose session lease could not be locked within
+// the request deadline: 503 with a Retry-After hint. The token's current
+// holder is stalled or long-running; the lease itself stays live.
+func writeBusy(w http.ResponseWriter, t *tenant) {
+	t.rejectedBusy.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "session busy")
 }
 
 // decode parses a JSON body into v, writing a 400/405 on failure and
@@ -323,7 +429,7 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }
 
-func (s *Server) handleEnqueueBatch(w http.ResponseWriter, r *http.Request, t *tenant) {
+func (s *Server) handleEnqueueBatch(w http.ResponseWriter, r *http.Request, t *tenant, oc *opCtx) {
 	var req EnqueueBatchRequest
 	if !decode(w, r, &req) {
 		return
@@ -336,20 +442,48 @@ func (s *Server) handleEnqueueBatch(w http.ResponseWriter, r *http.Request, t *t
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("items must number in [1, %d]", MaxWireBatch))
 		return
 	}
-	l := t.lease(req.Session)
-	defer l.done()
+	l, ok := t.lease(r.Context(), req.Session)
+	if !ok {
+		writeBusy(w, t)
+		return
+	}
+	oc.l = l
 	if !t.admitQuota(l, len(req.Items)) {
 		writeError(w, http.StatusTooManyRequests, "tenant operation quota exhausted")
 		return
 	}
+	// The applied count commits by defer so it is exact on every exit — a
+	// clean 200, an injected mid-batch abort, a deadline overrun, or a panic
+	// unwinding to the recovery envelope. Conservation audits rely on it:
+	// OpsEnqueued counts exactly the items that entered the leased handle.
+	applied := 0
+	defer func() { t.opsEnqueued.Add(uint64(applied)) }()
+	ctx := r.Context()
 	for _, it := range req.Items {
+		if fail.Enabled {
+			if err := fail.Inject(fail.SiteDlzdEnqueueItem); err != nil {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("injected abort after %d items", applied))
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			t.deadlineAborts.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("deadline exceeded after %d items", applied))
+			return
+		}
+		// Count before the call: EnqueuePriority's only fault point (the core
+		// flush failpoint) fires with the element already in the handle
+		// buffer, where the repair flush will publish it — counting after
+		// would leak exactly the elements that ride a faulted auto-publish.
+		applied++
 		l.mqh.EnqueuePriority(it.Priority, it.Value)
 	}
-	t.opsEnqueued.Add(uint64(len(req.Items)))
-	writeJSON(w, EnqueueBatchResponse{Enqueued: len(req.Items), Buffered: l.mqh.Buffered()})
+	s.finish(w, EnqueueBatchResponse{Enqueued: applied, Buffered: l.mqh.Buffered()})
 }
 
-func (s *Server) handleDeleteMinUpTo(w http.ResponseWriter, r *http.Request, t *tenant) {
+func (s *Server) handleDeleteMinUpTo(w http.ResponseWriter, r *http.Request, t *tenant, oc *opCtx) {
 	var req DeleteMinRequest
 	if !decode(w, r, &req) {
 		return
@@ -362,25 +496,42 @@ func (s *Server) handleDeleteMinUpTo(w http.ResponseWriter, r *http.Request, t *
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("max must be in [1, %d]", MaxWireBatch))
 		return
 	}
-	l := t.lease(req.Session)
-	defer l.done()
+	l, ok := t.lease(r.Context(), req.Session)
+	if !ok {
+		writeBusy(w, t)
+		return
+	}
+	oc.l = l
 	if !t.admitQuota(l, req.Max) {
 		writeError(w, http.StatusTooManyRequests, "tenant operation quota exhausted")
 		return
 	}
+	// Defer-committed like the enqueue count: elements drained out of the
+	// structure are counted even when a later fault turns the response into
+	// a 500 (at-most-once delivery — the server ledger stays exact).
 	items := make([]WireItem, 0, req.Max)
+	defer func() { t.opsDequeued.Add(uint64(len(items))) }()
+	ctx := r.Context()
+	truncated := false
 	for len(items) < req.Max {
+		if ctx.Err() != nil {
+			// Deadline mid-drain: answer 200 with what was obtained — the
+			// elements are already removed, so a partial success is the
+			// response that keeps delivered-exactly-once intact.
+			t.deadlineAborts.Add(1)
+			truncated = true
+			break
+		}
 		it, ok := l.mqh.Dequeue()
 		if !ok {
 			break
 		}
 		items = append(items, WireItem{Priority: it.Priority, Value: it.Value})
 	}
-	t.opsDequeued.Add(uint64(len(items)))
-	writeJSON(w, DeleteMinResponse{Items: items})
+	s.finish(w, DeleteMinResponse{Items: items, Truncated: truncated})
 }
 
-func (s *Server) handleCounterAdd(w http.ResponseWriter, r *http.Request, t *tenant) {
+func (s *Server) handleCounterAdd(w http.ResponseWriter, r *http.Request, t *tenant, oc *opCtx) {
 	var req CounterAddRequest
 	if !decode(w, r, &req) {
 		return
@@ -393,24 +544,44 @@ func (s *Server) handleCounterAdd(w http.ResponseWriter, r *http.Request, t *ten
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("deltas must number in [1, %d]", MaxWireBatch))
 		return
 	}
-	l := t.lease(req.Session)
-	defer l.done()
+	l, ok := t.lease(r.Context(), req.Session)
+	if !ok {
+		writeBusy(w, t)
+		return
+	}
+	oc.l = l
 	if !t.admitQuota(l, len(req.Deltas)) {
 		writeError(w, http.StatusTooManyRequests, "tenant operation quota exhausted")
 		return
 	}
+	// Both the op count and the delta weight commit by defer, so
+	// CounterDeltaSum equals the counter's exact value at quiescence even
+	// when a fault interrupts the apply loop.
+	applied, weight := 0, uint64(0)
+	defer func() {
+		t.opsCounterAdds.Add(uint64(applied))
+		t.counterDeltaSum.Add(weight)
+	}()
+	ctx := r.Context()
 	for _, d := range req.Deltas {
+		if ctx.Err() != nil {
+			t.deadlineAborts.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("deadline exceeded after %d deltas", applied))
+			return
+		}
 		l.ch.Add(d)
+		applied++
+		weight += d
 	}
-	t.opsCounterAdds.Add(uint64(len(req.Deltas)))
-	writeJSON(w, CounterAddResponse{
-		Added:          len(req.Deltas),
+	s.finish(w, CounterAddResponse{
+		Added:          applied,
 		BufferedOps:    l.ch.Buffered(),
 		BufferedWeight: l.ch.BufferedWeight(),
 	})
 }
 
-func (s *Server) handleCounterRead(w http.ResponseWriter, r *http.Request, t *tenant) {
+func (s *Server) handleCounterRead(w http.ResponseWriter, r *http.Request, t *tenant, oc *opCtx) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -420,8 +591,12 @@ func (s *Server) handleCounterRead(w http.ResponseWriter, r *http.Request, t *te
 		writeError(w, http.StatusBadRequest, "session query parameter required")
 		return
 	}
-	l := t.lease(session)
-	defer l.done()
+	l, ok := t.lease(r.Context(), session)
+	if !ok {
+		writeBusy(w, t)
+		return
+	}
+	oc.l = l
 	writeJSON(w, CounterReadResponse{Value: l.ch.Read()})
 }
 
@@ -443,6 +618,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 		return
 	}
 	agg := t.liveLeaseStats()
+	mqs := t.mq.Stats()
 	writeJSON(w, StatsResponse{
 		Tenant:                t.name,
 		QueueLen:              t.mq.Len(),
@@ -453,5 +629,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 		PrefetchedDequeues:    agg.prefetchedDequeues,
 		BufferedCounterOps:    agg.bufferedCounterOps,
 		BufferedCounterWeight: agg.bufferedCounterWeight,
+		OpsEnqueued:           t.opsEnqueued.Load(),
+		OpsDequeued:           t.opsDequeued.Load(),
+		OpsMetered:            t.opsMetered.Load(),
+		CounterDeltaSum:       t.counterDeltaSum.Load(),
+		ShedLevel:             int(t.shedLevel.Load()),
+		PanicsRecovered:       t.panicsRecovered.Load(),
+		RepairFailures:        t.repairFailures.Load(),
+		Invalidations:         mqs.Invalidations,
+		Reclaimed:             mqs.Reclaimed,
 	})
 }

@@ -40,8 +40,14 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 		st := t.mq.Stats()
 		agg := t.liveLeaseStats()
 		row := tenantRow{
-			t:   t,
-			mq:  MQStatsView{Elisions: st.Elisions, Publications: st.Publications, LockContended: st.LockContended},
+			t: t,
+			mq: MQStatsView{
+				Elisions:      st.Elisions,
+				Publications:  st.Publications,
+				LockContended: st.LockContended,
+				Invalidations: st.Invalidations,
+				Reclaimed:     st.Reclaimed,
+			},
 			agg: agg,
 		}
 		rows = append(rows, row)
@@ -99,14 +105,39 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 	sumCounter("dlzd_ops_counter_adds_total", "Deltas accepted by counter/add-batch.",
 		func(r tenantRow) uint64 { return r.t.opsCounterAdds.Load() })
 
+	// Degradation-ladder series (DESIGN.md §10).
+	sumCounter("dlzd_rejected_shed_total", "Mutating requests rejected by adaptive load shedding.",
+		func(r tenantRow) uint64 { return r.t.rejectedShed.Load() })
+	sumCounter("dlzd_rejected_busy_total", "Requests that could not lock their session lease within the deadline.",
+		func(r tenantRow) uint64 { return r.t.rejectedBusy.Load() })
+	sumCounter("dlzd_deadline_aborts_total", "Handler loops cut short by the per-request deadline.",
+		func(r tenantRow) uint64 { return r.t.deadlineAborts.Load() })
+	sumCounter("dlzd_panics_recovered_total", "Handler panics absorbed by the recovery envelope.",
+		func(r tenantRow) uint64 { return r.t.panicsRecovered.Load() })
+	sumCounter("dlzd_repair_failures_total", "Lease retirements that exhausted the repair ladder.",
+		func(r tenantRow) uint64 { return r.t.repairFailures.Load() })
+	sumCounter("dlzd_tombstones_armed_total", "MultiQueue interior removals armed (lazy tombstones).",
+		func(r tenantRow) uint64 { return r.mq.Invalidations })
+	sumCounter("dlzd_tombstones_reclaimed_total", "MultiQueue tombstones physically reclaimed.",
+		func(r tenantRow) uint64 { return r.mq.Reclaimed })
+	var shedTotal int
+	for _, row := range rows {
+		shedTotal += int(row.t.shedLevel.Load())
+	}
+	gauge("dlzd_shed_level", "Adaptive shed level (0-3), summed across tenants.", shedTotal)
+	perTenant("dlzd_shed_level", func(r tenantRow) uint64 { return uint64(r.t.shedLevel.Load()) })
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }
 
-// MQStatsView mirrors the core MultiQueue stats triple for metrics assembly
-// without importing the internal package into every metrics consumer.
+// MQStatsView mirrors the core MultiQueue stats counters for metrics
+// assembly without importing the internal package into every metrics
+// consumer.
 type MQStatsView struct {
 	Elisions      uint64
 	Publications  uint64
 	LockContended uint64
+	Invalidations uint64
+	Reclaimed     uint64
 }

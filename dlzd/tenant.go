@@ -1,11 +1,13 @@
 package dlzd
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/dlz"
+	"repro/internal/fail"
 )
 
 // quotaShards is m for the per-tenant quota MultiCounter. Quota metering is
@@ -43,6 +45,27 @@ type tenant struct {
 	opsEnqueued     atomic.Uint64
 	opsDequeued     atomic.Uint64
 	opsCounterAdds  atomic.Uint64
+	// counterDeltaSum is the total weight applied through counter/add-batch
+	// (defer-committed per request), the value CounterExact must equal at
+	// quiescence; opsMetered is the total operation count charged against the
+	// quota meter, the value QuotaUsed must equal at quiescence.
+	counterDeltaSum atomic.Uint64
+	opsMetered      atomic.Uint64
+	// Degradation-ladder counters (DESIGN.md §10).
+	rejectedBusy    atomic.Uint64 // 503: session lease not lockable in time
+	rejectedShed    atomic.Uint64 // 429: adaptive load shedding
+	deadlineAborts  atomic.Uint64 // request deadlines hit inside handlers
+	panicsRecovered atomic.Uint64 // handler panics absorbed by the envelope
+	repairFailures  atomic.Uint64 // lease retirements that exhausted the ladder
+
+	// Adaptive shed state: an EWMA of mutating-request latency (microseconds)
+	// drives a level in 0..3; at level L, L out of every 4 mutating requests
+	// are shed. All four words are advisory — racy updates only make the
+	// ladder react a request early or late, never corrupt state.
+	latEWMA   atomic.Uint64
+	shedLevel atomic.Int32
+	shedShift atomic.Int64 // unix-nano of the last level change
+	shedSeq   atomic.Uint64
 }
 
 // lease binds one session token to a handle pair (queue + counter) plus the
@@ -92,11 +115,17 @@ func newTenant(name string, srv *Server) *tenant {
 }
 
 // lease returns the live lease for token, creating one on first use. The
-// returned lease is locked; the caller must release it with l.done (which
-// also refreshes the idle stamp). A lease that lost a race with the expiry
-// sweep is closed by the time its lock is acquired; the lookup retries so
-// the caller always gets a live one.
-func (t *tenant) lease(token string) *lease {
+// returned lease is locked; serveTenantOp's recovery envelope releases it
+// with l.done (normal return) or t.repair (panic). A lease that lost a race
+// with the expiry sweep is closed by the time its lock is acquired; the
+// lookup retries so the caller always gets a live one.
+//
+// The lock wait is bounded by ctx: when the context carries a deadline
+// (Config.RequestTimeout) and the token's current holder does not release in
+// time — stalled, descheduled, or serving a long drain — ok is false and the
+// caller answers 503 busy instead of joining an unbounded convoy on one
+// session token.
+func (t *tenant) lease(ctx context.Context, token string) (*lease, bool) {
 	for {
 		t.mu.Lock()
 		l, ok := t.leases[token]
@@ -113,11 +142,33 @@ func (t *tenant) lease(token string) *lease {
 			t.leasesOpened.Add(1)
 		}
 		t.mu.Unlock()
-		l.mu.Lock()
+		if !l.lockWithin(ctx) {
+			return nil, false
+		}
 		if !l.closed {
-			return l
+			return l, true
 		}
 		l.mu.Unlock()
+	}
+}
+
+// lockWithin acquires the lease lock, giving up when ctx expires first. A
+// context without a deadline blocks unconditionally (the pre-hardening
+// behavior, and the cheap path: no timers, one Lock).
+func (l *lease) lockWithin(ctx context.Context) bool {
+	if ctx.Done() == nil {
+		l.mu.Lock()
+		return true
+	}
+	for {
+		if l.mu.TryLock() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(200 * time.Microsecond):
+		}
 	}
 }
 
@@ -132,15 +183,100 @@ func (l *lease) done() {
 // Close contract does the heavy lifting: buffered inserts and increments are
 // published and unconsumed prefetched elements are returned to the shared
 // queue, so an abandoned session loses nothing.
-func (l *lease) closeLocked() {
+//
+// Retirement runs as a ladder of retireAttempts tries, each absorbing an
+// injected fault and retrying: the core Flush failpoint fires before any
+// element publishes and handle Close is a no-op once complete, so a retry
+// after an injected panic resumes with all buffered state intact and any
+// Count-bounded fault schedule converges well inside the ladder. Reports
+// whether the handles retired cleanly; on exhaustion the lease is still
+// marked closed (so lookups stop handing it out) and the failure is counted
+// in repairFailures.
+func (l *lease) closeLocked() bool {
 	if l.closed {
-		return
+		return true
 	}
 	l.t.retiredRerolls.Add(l.mqh.Rerolls())
+	ok := false
+	for i := 0; i < retireAttempts; i++ {
+		if l.tryRetire() {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		l.t.repairFailures.Add(1)
+	}
+	l.closed = true
+	return ok
+}
+
+// retireAttempts bounds the lease retirement ladder. Chaos schedules arm
+// their close-path fault policies with Count well below this, so the ladder
+// converges deterministically; a genuine panic is re-raised on first touch.
+const retireAttempts = 8
+
+// tryRetire makes one retirement attempt: pass the dlzd/lease/close
+// failpoint, then close the three handles. Injected errors report a failed
+// attempt; injected panics are absorbed into the same outcome; genuine
+// panics propagate.
+func (l *lease) tryRetire() (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, injected := fail.IsInjectedPanic(rec); !injected {
+				panic(rec)
+			}
+			ok = false
+		}
+	}()
+	if fail.Enabled {
+		if err := fail.Inject(fail.SiteDlzdLeaseClose); err != nil {
+			return false
+		}
+	}
 	l.mqh.Close()
 	l.ch.Close()
 	l.qh.Close()
-	l.closed = true
+	return true
+}
+
+// tryFlush attempts to publish the lease's buffered operations without
+// retiring it, absorbing an injected fault; callers must hold l.mu. The
+// cheap half of repair's flush-or-close.
+func (l *lease) tryFlush() (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, injected := fail.IsInjectedPanic(rec); !injected {
+				panic(rec)
+			}
+			ok = false
+		}
+	}()
+	l.mqh.Flush()
+	l.ch.Flush()
+	return true
+}
+
+// repair restores a lease after its handler panicked, with l.mu still held
+// by the faulted request: flush the buffered operations so nothing the
+// server already counted as applied is stranded in handle buffers, or — if
+// the handles themselves keep faulting — delink and retire the lease through
+// the close ladder. Either way l.mu is released and the token is immediately
+// serviceable again (same lease if flushed, a fresh one if retired).
+func (t *tenant) repair(l *lease) {
+	defer l.done()
+	if l.closed {
+		return
+	}
+	if l.tryFlush() {
+		return
+	}
+	t.mu.Lock()
+	if t.leases[l.token] == l {
+		delete(t.leases, l.token)
+	}
+	t.mu.Unlock()
+	l.closeLocked()
 }
 
 // closeSession closes the lease for token, reporting whether a live lease
@@ -156,8 +292,8 @@ func (t *tenant) closeSession(token string) bool {
 		return false
 	}
 	l.mu.Lock()
+	defer l.mu.Unlock() // deferred so even a genuine close-path panic cannot strand l.mu
 	l.closeLocked()
-	l.mu.Unlock()
 	return true
 }
 
@@ -177,9 +313,17 @@ func (t *tenant) expireIdle(cutoff time.Time) int {
 	}
 	t.mu.Unlock()
 	for _, l := range stale {
-		l.mu.Lock()
-		l.closeLocked()
-		l.mu.Unlock()
+		if fail.Enabled {
+			// Between delink and close: a delay here widens the window in
+			// which a request that looked the lease up before the delink
+			// races the retirement (the lookup-retry path under test).
+			_ = fail.Inject(fail.SiteDlzdJanitor)
+		}
+		func() {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.closeLocked()
+		}()
 	}
 	t.leasesExpired.Add(uint64(len(stale)))
 	return len(stale)
@@ -215,6 +359,7 @@ func (t *tenant) admitQuota(l *lease, n int) bool {
 		return false
 	}
 	l.qh.Add(uint64(n))
+	t.opsMetered.Add(uint64(n))
 	return true
 }
 
@@ -228,6 +373,65 @@ type leaseAggregate struct {
 	bufferedCounterOps    int
 	bufferedCounterWeight uint64
 	rerolls               uint64
+}
+
+// shed is the adaptive-admission decision for one mutating request: at shed
+// level L (0..3), L out of every 4 are rejected, and the Retry-After hint
+// doubles with each level (1s, 2s, 4s) so shed traffic spreads out instead
+// of hammering a tenant that is already past its latency target. Level 0 —
+// the permanent state when Config.ShedTarget is unset — costs one atomic
+// load.
+func (t *tenant) shed() (retryAfterSeconds int, shed bool) {
+	lvl := t.shedLevel.Load()
+	if lvl <= 0 {
+		return 0, false
+	}
+	if t.shedSeq.Add(1)%4 < uint64(lvl) {
+		t.rejectedShed.Add(1)
+		return 1 << (lvl - 1), true
+	}
+	return 0, false
+}
+
+// observeLatency feeds one mutating request's wall time into the shed
+// EWMA (α = 1/8) and moves the shed level: up one step while the EWMA
+// exceeds ShedTarget, down one step once it falls below half the target,
+// never more often than ShedHold. The CAS on shedShift makes concurrent
+// observers agree on at most one step per dwell; everything else tolerates
+// racy updates (a lost EWMA store skews the estimate by one sample).
+func (t *tenant) observeLatency(d time.Duration) {
+	target := t.srv.cfg.ShedTarget
+	if target <= 0 {
+		return
+	}
+	us := uint64(d.Microseconds())
+	if us == 0 {
+		us = 1
+	}
+	old := t.latEWMA.Load()
+	ewma := us
+	if old != 0 {
+		ewma = old - old/8 + us/8
+	}
+	t.latEWMA.Store(ewma)
+
+	now := time.Now().UnixNano()
+	last := t.shedShift.Load()
+	if now-last < int64(t.srv.cfg.ShedHold) {
+		return
+	}
+	lvl := t.shedLevel.Load()
+	tgt := uint64(target.Microseconds())
+	switch {
+	case ewma > tgt && lvl < 3:
+		if t.shedShift.CompareAndSwap(last, now) {
+			t.shedLevel.Store(lvl + 1)
+		}
+	case ewma < tgt/2 && lvl > 0:
+		if t.shedShift.CompareAndSwap(last, now) {
+			t.shedLevel.Store(lvl - 1)
+		}
+	}
 }
 
 func (t *tenant) liveLeaseStats() leaseAggregate {

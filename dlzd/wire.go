@@ -52,6 +52,12 @@ type DeleteMinRequest struct {
 // dequeue produced them (each of rank O(m) in expectation, Theorem 7.1).
 type DeleteMinResponse struct {
 	Items []WireItem `json:"items"`
+	// Truncated is set when the request deadline expired mid-drain: Items
+	// holds what was removed before the deadline (they are already out of
+	// the structure, so a partial 200 — not an error — is what preserves
+	// delivered-exactly-once). Fewer than Max items with Truncated false
+	// means the structure ran empty.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // CounterAddRequest is the body of POST /v1/{tenant}/counter/add-batch:
@@ -99,6 +105,12 @@ type SessionCloseResponse struct {
 // report what live leases still hold, so the logical totals even mid-run
 // are QueueLen+BufferedEnqueues+PrefetchedDequeues (elements not yet
 // delivered to any client) and CounterExact+BufferedCounterWeight.
+// The applied-operation ledger (OpsEnqueued, OpsDequeued, CounterDeltaSum,
+// OpsMetered) is defer-committed inside the handlers, so it stays exact
+// through injected faults; at quiescence (all leases closed) conservation
+// demands QueueLen == OpsEnqueued − OpsDequeued, CounterExact ==
+// CounterDeltaSum and QuotaUsed == OpsMetered — the chaos soak's exit
+// criteria.
 type StatsResponse struct {
 	Tenant                string `json:"tenant"`
 	QueueLen              int    `json:"queue_len"`
@@ -109,6 +121,22 @@ type StatsResponse struct {
 	PrefetchedDequeues    int    `json:"prefetched_dequeues"`
 	BufferedCounterOps    int    `json:"buffered_counter_ops"`
 	BufferedCounterWeight uint64 `json:"buffered_counter_weight"`
+	OpsEnqueued           uint64 `json:"ops_enqueued"`
+	OpsDequeued           uint64 `json:"ops_dequeued"`
+	OpsMetered            uint64 `json:"ops_metered"`
+	CounterDeltaSum       uint64 `json:"counter_delta_sum"`
+	// ShedLevel is the tenant's current adaptive shed level (0..3).
+	ShedLevel int `json:"shed_level"`
+	// PanicsRecovered counts handler panics absorbed by the recovery
+	// envelope; RepairFailures counts lease retirements that exhausted the
+	// repair ladder (0 under any Count-bounded fault schedule).
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	RepairFailures  uint64 `json:"repair_failures"`
+	// Invalidations/Reclaimed mirror the MultiQueue tombstone counters; at
+	// quiescence they are equal (no tombstone outlives the drain that would
+	// have surfaced it).
+	Invalidations uint64 `json:"invalidations"`
+	Reclaimed     uint64 `json:"reclaimed"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/cpq"
+	"repro/internal/fail"
 	"repro/internal/heap"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -363,6 +364,14 @@ func (h *MQHandle) Flush() {
 	if len(h.inBuf) == 0 {
 		return
 	}
+	if fail.Enabled {
+		// Fires only with a non-empty buffer, before any element publishes:
+		// a panic here interrupts the batch flush with inBuf fully intact,
+		// so a recovering owner can retry Flush (or Close) without losing a
+		// buffered element. The error outcome is ignored — Flush has no
+		// refusal path.
+		_ = fail.Inject(fail.SiteCoreFlush)
+	}
 	h.q.qs[h.enqTarget(len(h.inBuf))].AddBatch(h.inBuf)
 	h.inBuf = h.inBuf[:0]
 }
@@ -608,6 +617,12 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 	}
 	for attempt := 0; attempt < 2*h.q.m; attempt++ {
 		i, key := h.deqBest()
+		if fail.Enabled && fail.Inject(fail.SiteCoreReroll) != nil {
+			// Injected reroll storm: discard the draw as if its queue were
+			// contended, exercising the sampler's reroll inheritance.
+			h.deqReroll()
+			continue
+		}
 		if key != cpq.TopKeyEmpty {
 			if it, ok = h.deleteFrom(i); ok {
 				return it, true
@@ -721,6 +736,10 @@ func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 	for pass := 0; pass < 2; pass++ {
 		for a := 0; a < attempts; a++ {
 			i, key := h.deqBest()
+			if fail.Enabled && fail.Inject(fail.SiteCoreReroll) != nil {
+				h.deqReroll()
+				continue
+			}
 			if key == cpq.TopKeyEmpty {
 				h.deqReroll()
 				continue

@@ -41,6 +41,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/fail"
 	"repro/internal/heap"
 	"repro/internal/pad"
 	"repro/internal/skiplist"
@@ -329,6 +330,14 @@ func (q *Queue) publishTop() {
 // (ok false meaning empty), maintaining the full-resolution mirror; callers
 // must hold the lock.
 func (q *Queue) publishTopItem(it heap.Item, ok bool) {
+	if fail.Enabled {
+		// We are between Begin and Publish inside a spinlock critical
+		// section: a delay here stretches the window in which readers see
+		// the mid-update sentinel. Error returns are ignored and panic
+		// policies must not be armed at this site (the lock would be
+		// stranded) — see the site taxonomy in package fail.
+		_ = fail.Inject(fail.SiteCPQTopPublish)
+	}
 	q.pubMin, q.pubEmpty = it.Priority, !ok
 	q.top.Publish(topPayload(it.Priority, !ok))
 	q.publications.Add(1)
@@ -521,6 +530,9 @@ func (q *Queue) TryAddBatch(items []heap.Item) bool {
 	if len(items) == 0 {
 		return true
 	}
+	if fail.Enabled && fail.Inject(fail.SiteCPQTryRefuse) != nil {
+		return false
+	}
 	if !q.lock.TryLock() {
 		return false
 	}
@@ -554,6 +566,9 @@ func (q *Queue) TryDeleteMinUpTo(k int, dst []heap.Item) (out []heap.Item, acqui
 	if k <= 0 {
 		return dst, true
 	}
+	if fail.Enabled && fail.Inject(fail.SiteCPQTryRefuse) != nil {
+		return dst, false
+	}
 	if !q.lock.TryLock() {
 		return dst, false
 	}
@@ -566,6 +581,9 @@ func (q *Queue) TryDeleteMinUpTo(k int, dst []heap.Item) (out []heap.Item, acqui
 // whether the insert happened. MultiQueue enqueues use it to skip contended
 // queues and re-draw.
 func (q *Queue) TryAdd(priority, value uint64) bool {
+	if fail.Enabled && fail.Inject(fail.SiteCPQTryRefuse) != nil {
+		return false
+	}
 	if !q.lock.TryLock() {
 		return false
 	}
@@ -587,6 +605,9 @@ func (q *Queue) DeleteMin() (it heap.Item, ok bool) {
 // the lock was obtained; when acquired is false the queue was contended and
 // (it, ok) are meaningless.
 func (q *Queue) TryDeleteMin() (it heap.Item, ok, acquired bool) {
+	if fail.Enabled && fail.Inject(fail.SiteCPQTryRefuse) != nil {
+		return heap.Item{}, false, false
+	}
 	if !q.lock.TryLock() {
 		return heap.Item{}, false, false
 	}

@@ -1,0 +1,29 @@
+//go:build !dlzfail
+
+package fail
+
+import "testing"
+
+// TestDisabledBuildIsInert pins the default-build contract: Enabled is the
+// constant false and the whole API is a no-op, so guarded call sites cost
+// nothing and un-guarded administrative calls (a stray Arm in shared test
+// helpers) cannot fault a production binary.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the dlzfail tag")
+	}
+	SetSeed(7)
+	Arm(SiteCoreFlush, Policy{Kind: KindPanic})
+	if err := Inject(SiteCoreFlush); err != nil {
+		t.Fatalf("Inject on a no-op build returned %v", err)
+	}
+	if Hits(SiteCoreFlush) != 0 || Fires(SiteCoreFlush) != 0 {
+		t.Error("no-op build reported counters")
+	}
+	Release(SiteCoreFlush)
+	Disarm(SiteCoreFlush)
+	Reset()
+	if _, ok := IsInjectedPanic("not a failpoint"); ok {
+		t.Error("IsInjectedPanic accepted an arbitrary value")
+	}
+}

@@ -1,0 +1,84 @@
+//go:build dlzfail
+
+package pad
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fail"
+)
+
+// TestLockFailpointsWired proves both SpinLock sites sit on the contended
+// path: with a hold delay armed, a herd of lockers records hits at both
+// sites and the contended counter moves, while the uncontended TryLock fast
+// path (exercised after Reset) records nothing.
+func TestLockFailpointsWired(t *testing.T) {
+	fail.Reset()
+	defer fail.Reset()
+	fail.Arm(fail.SitePadLockHold, fail.Policy{Kind: fail.KindDelay, Delay: 200 * time.Microsecond, Count: 8})
+
+	var l SpinLock
+	var wg sync.WaitGroup
+	const workers = 4
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Lock()
+				time.Sleep(10 * time.Microsecond) // hold long enough to force slow paths
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Contended() == 0 {
+		t.Fatal("herd never entered the slow path — test exercised nothing")
+	}
+	if fail.Hits(fail.SitePadLockAcquire) == 0 || fail.Hits(fail.SitePadLockHold) == 0 {
+		t.Errorf("contended acquisitions missed the failpoints: acquire=%d hold=%d",
+			fail.Hits(fail.SitePadLockAcquire), fail.Hits(fail.SitePadLockHold))
+	}
+
+	fail.Reset()
+	var free SpinLock
+	free.Lock()
+	free.Unlock()
+	if fail.Hits(fail.SitePadLockAcquire) != 0 {
+		t.Error("uncontended Lock hit the slow-path failpoint")
+	}
+}
+
+// TestLockAcquireStall pins the stall semantics: a waiter parks at
+// pad/lock/acquire until Release, then completes the acquisition.
+func TestLockAcquireStall(t *testing.T) {
+	fail.Reset()
+	defer fail.Reset()
+	fail.Arm(fail.SitePadLockAcquire, fail.Policy{Kind: fail.KindStall, Count: 1})
+
+	var l SpinLock
+	l.Lock() // force the next Lock onto the slow path
+	done := make(chan struct{})
+	go func() {
+		l.Lock()
+		l.Unlock()
+		close(done)
+	}()
+	for fail.Fires(fail.SitePadLockAcquire) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	l.Unlock() // lock is free, but the waiter is still parked at the failpoint
+	select {
+	case <-done:
+		t.Fatal("waiter acquired the lock while stalled")
+	case <-time.After(20 * time.Millisecond):
+	}
+	fail.Release(fail.SitePadLockAcquire)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("released waiter never acquired the lock")
+	}
+}

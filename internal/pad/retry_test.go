@@ -1,0 +1,85 @@
+package pad
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryBackoffWindowsGrowAndCap(t *testing.T) {
+	r := NewRetryBackoff(10*time.Millisecond, 80*time.Millisecond, 1)
+	// Draw many delays per attempt index by resetting; the max observed per
+	// window must respect min(Cap, Base<<attempt) and the windows must grow.
+	maxFor := func(attempt int) time.Duration {
+		var max time.Duration
+		for trial := 0; trial < 200; trial++ {
+			r.Reset()
+			var d time.Duration
+			for i := 0; i <= attempt; i++ {
+				d = r.Next(0)
+			}
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	if m := maxFor(0); m >= 10*time.Millisecond {
+		t.Errorf("attempt 0 drew %v, want < Base", m)
+	}
+	if m := maxFor(4); m >= 80*time.Millisecond {
+		t.Errorf("attempt 4 drew %v, want < Cap", m)
+	}
+	if maxFor(3) <= maxFor(0) {
+		t.Error("window did not grow with attempts")
+	}
+}
+
+func TestRetryBackoffHonorsFloor(t *testing.T) {
+	r := NewRetryBackoff(time.Millisecond, 4*time.Millisecond, 7)
+	for i := 0; i < 50; i++ {
+		if d := r.Next(25 * time.Millisecond); d < 25*time.Millisecond {
+			t.Fatalf("draw %d: %v below the Retry-After floor", i, d)
+		}
+	}
+}
+
+func TestRetryBackoffDeterministicAndSeeded(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		r := NewRetryBackoff(0, 0, seed) // defaults: 5ms base, 1s cap
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = r.Next(0)
+		}
+		return out
+	}
+	a, b, c := draw(3), draw(3), draw(4)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestRetryBackoffReset(t *testing.T) {
+	r := NewRetryBackoff(10*time.Millisecond, time.Second, 9)
+	for i := 0; i < 6; i++ {
+		r.Next(0)
+	}
+	if r.Attempt() != 6 {
+		t.Fatalf("Attempt = %d, want 6", r.Attempt())
+	}
+	r.Reset()
+	if r.Attempt() != 0 {
+		t.Fatalf("Attempt after Reset = %d, want 0", r.Attempt())
+	}
+	if d := r.Next(0); d >= 10*time.Millisecond {
+		t.Errorf("post-Reset draw %v outside the first window", d)
+	}
+}
