@@ -160,6 +160,12 @@ type sweepParams struct {
 	counterSettings      []counterSetting
 	mFactorsPerThread    []int
 	threadCountsOf       func(maxThreads int) []int
+	// elasticRamp is the goroutine ladder the elastic axis climbs (one
+	// measurement stage per entry, the autoscale controller ticked between
+	// stages) and elasticMaxM the topology ceiling (MinM is MaxM/8, floored
+	// at 1). An empty ramp disables the axis.
+	elasticRamp []int
+	elasticMaxM int
 }
 
 func fullParams(mfactor, maxThreads int) sweepParams {
@@ -180,6 +186,8 @@ func fullParams(mfactor, maxThreads int) sweepParams {
 		// staying within-envelope.
 		mFactorsPerThread: []int{mfactor, 2 * mfactor, 4 * mfactor, 8 * mfactor},
 		threadCountsOf:    harness.ThreadCounts,
+		elasticRamp:       harness.ThreadCounts(maxThreads),
+		elasticMaxM:       4 * mfactor * maxThreads,
 	}
 }
 
@@ -213,6 +221,11 @@ func quickParams(mfactor, maxThreads int) sweepParams {
 		},
 		mFactorsPerThread: []int{mfactor},
 		threadCountsOf:    func(int) []int { return threadCounts },
+		// The quick leg still climbs the elastic axis (and its forced
+		// grow/shrink conservation cycle) so CI smokes one full resize epoch
+		// through the JSON pipeline.
+		elasticRamp: threadCounts,
+		elasticMaxM: 4 * mfactor * maxThreads,
 	}
 }
 
@@ -291,6 +304,18 @@ func main() {
 	if params.gate {
 		fmt.Printf("multiqueue: topcache gate vs PR 3 committed %v met: %v\n",
 			mq.Summary.CommittedByBacking, mq.Summary.MeetsCommitted)
+	}
+	for _, pt := range mq.Points {
+		if pt.Elastic == nil {
+			continue
+		}
+		mode := "fixed"
+		if pt.Elastic.AutoScale {
+			mode = "autoscale"
+		}
+		fmt.Printf("multiqueue: elastic %-9s m[%d,%d] start %d final %d: %.2f Mops at %d goroutines, %d resize epochs\n",
+			mode, pt.Elastic.MinM, pt.Elastic.MaxM, pt.Elastic.InitialM, pt.Elastic.CurrentM,
+			pt.Mops, pt.Threads, pt.Elastic.Resizes)
 	}
 	if mq.Summary.AffineBestSpeedup > 0 {
 		fmt.Printf("multiqueue: affine best %.2fx (a=%v %s s=%d k=%d m=%d) vs uniform %.2fx, drift mean %.2fx max %.2fx, gate met: %v\n",
@@ -421,7 +446,108 @@ func runMultiQueueSweep(dur time.Duration, maxThreads int, seed uint64, env benc
 		}
 	}
 	computeMQAffineGate(rep)
+	// The elastic axis joins after the summary gates are computed: its
+	// points carry no baseline denominator (Speedup 0) and must never feed
+	// the fixed-m headline bests or the committed per-backing gates.
+	runElasticPoints(rep, dur, seed, params)
 	return rep
+}
+
+// runElasticPoints measures the schema v7 elastic axis: the same
+// enqueue+dequeue pair workload climbing a goroutine ramp on one persistent
+// queue, once with the shard count pinned at the topology ceiling (the
+// fixed-m comparator) and once starting at the floor with the
+// contention-driven controller ticked between stages (grow under ramping
+// load) and after the ramp (shrink under idle). Each elastic variant ends
+// with a forced grow/shrink cycle whose element conservation is checked —
+// the resize-epoch smoke both CI legs run.
+func runElasticPoints(rep *benchfmt.MQReport, dur time.Duration, seed uint64, params sweepParams) {
+	if len(params.elasticRamp) == 0 {
+		return
+	}
+	maxM := params.elasticMaxM
+	minM := maxM / 8
+	if minM < 1 {
+		minM = 1
+	}
+	stageDur := dur / time.Duration(len(params.elasticRamp))
+	if stageDur < 10*time.Millisecond {
+		stageDur = 10 * time.Millisecond
+	}
+	for _, auto := range []bool{false, true} {
+		topo := core.Topology{InitialM: maxM, MinM: maxM, MaxM: maxM}
+		if auto {
+			topo = core.Topology{InitialM: minM, MinM: minM, MaxM: maxM, AutoScale: &core.AutoScale{Dwell: 1}}
+		}
+		q := core.NewMultiQueue(core.MultiQueueConfig{
+			Topology: topo, Backing: cpq.BackingBinary, Seed: seed, Stickiness: 8, Batch: 8,
+		})
+		pre := q.NewHandle(seed + 1)
+		for i := 0; i < 10_000; i++ {
+			pre.Enqueue(uint64(i))
+		}
+		pre.Flush()
+		var ops int64
+		var seconds float64
+		for _, threads := range params.elasticRamp {
+			o, elapsed := harness.RunTimed(threads, stageDur, func(id int, stop *atomic.Bool) int64 {
+				h := q.NewHandle(seed + 100 + uint64(id))
+				var n int64
+				for !stop.Load() {
+					h.Enqueue(uint64(n))
+					h.Dequeue()
+					n += 2
+				}
+				return n
+			})
+			ops += o
+			seconds += elapsed.Seconds()
+			if auto {
+				q.AutoScaleTick()
+			}
+		}
+		if auto {
+			// Idle ticks after the ramp: zero pressure, so the controller
+			// walks the shard count back down (dwell-gated halving).
+			for i := 0; i < 2*(topo.AutoScale.Dwell+1); i++ {
+				q.AutoScaleTick()
+			}
+			// Forced full cycle: grow to the ceiling, shrink to the floor.
+			// Every published element must survive the seal-drain-donate
+			// epochs exactly — this is a correctness smoke, not a perf gate,
+			// so it fails the run even in -quick mode.
+			before := q.Len()
+			q.Resize(maxM)
+			q.Resize(minM)
+			if after := q.Len(); after != before {
+				fmt.Fprintf(os.Stderr, "benchall: elastic resize cycle lost elements: %d before, %d after\n", before, after)
+				os.Exit(1)
+			}
+		}
+		st := q.Stats()
+		g := mqSetting{backing: cpq.BackingBinary, stick: 8, batch: 8}
+		pt := benchfmt.MQPoint{
+			Threads:    params.elasticRamp[len(params.elasticRamp)-1],
+			M:          q.M(),
+			Backing:    g.backing.String(),
+			Stickiness: g.stick,
+			Batch:      g.batch,
+			Ops:        ops,
+			Seconds:    seconds,
+			Mops:       stats.Throughput(ops, seconds),
+			Quality:    measureRankQuality(q.M(), g, seed, params),
+			TopCache:   true,
+			Elastic: &benchfmt.MQElasticity{
+				InitialM:  topo.InitialM,
+				MinM:      topo.MinM,
+				MaxM:      topo.MaxM,
+				AutoScale: auto,
+				CurrentM:  st.CurrentM,
+				Resizes:   st.Resizes,
+			},
+		}
+		rep.Points = append(rep.Points, pt)
+	}
 }
 
 // mqCoord identifies one MultiQueue grid point up to the affinity axis, the
@@ -551,7 +677,8 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 			// would drift the standing buffer across reps and skew the
 			// max-over-reps comparison.
 			q := core.NewMultiQueue(core.MultiQueueConfig{
-				Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+				Topology: core.Topology{InitialM: m},
+				Backing:  g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
 				Affinity: g.affinity, LockedTopRead: g.lockedRead,
 			})
 			pre := q.NewHandle(seed + 1)
@@ -640,12 +767,17 @@ func runMultiQueuePoints(rep *benchfmt.MQReport, baseline map[[2]int]float64, au
 // standing buffer of 64·m elements and scores it against the envelope.
 func measureRankQuality(m int, g mqSetting, seed uint64, params sweepParams) benchfmt.RankQuality {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
-		Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+		Topology: core.Topology{InitialM: m},
+		Backing:  g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
 		Affinity: g.affinity, LockedTopRead: g.lockedRead,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, params.rankOps)
 	mean := sample.Mean()
-	env := dlin.Envelope(m)
+	// Score against the envelope at the queue's live post-run shard count,
+	// not the configured one: under an elastic topology a resize during the
+	// audit moves the committed bound with it (for a fixed topology
+	// q.M() == m and nothing changes).
+	env := dlin.Envelope(q.M())
 	return benchfmt.RankQuality{RankErrorMean: mean, RankErrorMax: sample.Max(), Envelope: env, WithinEnvelope: mean <= env}
 }
 
@@ -655,7 +787,8 @@ func measureRankQuality(m int, g mqSetting, seed uint64, params sweepParams) ben
 // pairs. The batched hot path's contract is 0.
 func measureMQAllocs(m int, g mqSetting, seed uint64, params sweepParams) float64 {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
-		Queues: m, Backing: g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
+		Topology: core.Topology{InitialM: m},
+		Backing:  g.backing, Seed: seed, Stickiness: g.stick, Batch: g.batch,
 		Affinity: g.affinity, LockedTopRead: g.lockedRead,
 	})
 	h := q.NewHandle(seed + 2)
@@ -845,7 +978,8 @@ func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, 
 		reps := make([]repWindow, 0, params.mcReps)
 		for attempt := 0; attempt < params.mcReps; attempt++ {
 			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
-				Counters: m, Choices: g.d, Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
+				Topology: core.Topology{InitialM: m},
+				Choices:  g.d, Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
 			})
 			ops, elapsed := harness.RunTimed(threads, dur, func(id int, stop *atomic.Bool) int64 {
 				h := mc.NewHandle(seed + 100 + uint64(id))
@@ -910,10 +1044,12 @@ func runMultiCounterPoints(rep *benchfmt.MCReport, baseline map[[2]int]float64, 
 // the m·log m envelope, reporting the max deviation alongside.
 func measureCounterQuality(m int, g counterSetting, seed uint64, params sweepParams) benchfmt.CounterQuality {
 	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
-		Counters: m, Choices: g.d, Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
+		Topology: core.Topology{InitialM: m},
+		Choices:  g.d, Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
 	})
 	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed+1), params.counterIncs, params.counterSamples, nil)
-	env := dlin.Envelope(m)
+	// Envelope at the live post-run shard count, like measureRankQuality.
+	env := dlin.Envelope(mc.M())
 	return benchfmt.CounterQuality{
 		MaxAbsDeviation:  dev.MaxAbsError,
 		MeanAbsDeviation: dev.MeanAbsError,
@@ -927,7 +1063,8 @@ func measureCounterQuality(m int, g counterSetting, seed uint64, params sweepPar
 // threaded increment at a sweep setting; the contract is 0 in every mode.
 func measureMCAllocs(m int, g counterSetting, seed uint64, params sweepParams) float64 {
 	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
-		Counters: m, Choices: g.d, Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
+		Topology: core.Topology{InitialM: m},
+		Choices:  g.d, Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
 	})
 	h := mc.NewHandle(seed + 2)
 	for i := 0; i < params.allocWarm; i++ {

@@ -67,7 +67,7 @@ func main() {
 
 	// MultiQueue.
 	{
-		q := core.NewMultiQueue(core.MultiQueueConfig{Queues: *m, Seed: *seed})
+		q := core.NewMultiQueue(core.MultiQueueConfig{Topology: core.Topology{InitialM: *m}, Seed: *seed})
 		rec := trace.NewRecorder(*workers, 2**ops+2)
 		var wg sync.WaitGroup
 		wg.Add(*workers)

@@ -67,16 +67,18 @@ func postJSON(client *http.Client, url string, body, out any) (code int, retryAf
 
 func main() {
 	var (
-		addr       = flag.String("addr", "http://localhost:8377", "dlzd base URL")
-		tenants    = flag.Int("tenants", 4, "tenant namespaces to spread load over")
-		workers    = flag.Int("workers", 8, "concurrent client sessions")
-		ops        = flag.Int("ops", 100000, "total wire operations")
-		batch      = flag.Int("batch", 8, "max items per wire batch")
-		thetaT     = flag.Float64("zipf-tenant", 0.9, "Zipf theta for tenant skew")
-		thetaP     = flag.Float64("zipf-prio", 0.8, "Zipf theta for priority skew")
-		prioSpace  = flag.Int("prio-space", 1<<20, "priority key universe")
-		seed       = flag.Uint64("seed", 99, "workload seed")
-		quiet      = flag.Bool("quiet", false, "suppress per-tenant stats")
+		addr      = flag.String("addr", "http://localhost:8377", "dlzd base URL")
+		tenants   = flag.Int("tenants", 4, "tenant namespaces to spread load over")
+		workers   = flag.Int("workers", 8, "concurrent client sessions")
+		ops       = flag.Int("ops", 100000, "total wire operations")
+		batch     = flag.Int("batch", 8, "max items per wire batch")
+		thetaT    = flag.Float64("zipf-tenant", 0.9, "Zipf theta for tenant skew")
+		thetaP    = flag.Float64("zipf-prio", 0.8, "Zipf theta for priority skew")
+		prioSpace = flag.Int("prio-space", 1<<20, "priority key universe")
+		seed      = flag.Uint64("seed", 99, "workload seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-tenant stats")
+		ramp      = flag.String("ramp-workers", "",
+			"staged concurrency ramp lo:hi:step — split -ops across stages of lo, lo+step, ... hi workers (drives the autoscale controller through grow and lets it shrink between runs); overrides -workers")
 		maxRetries = flag.Int("max-retries", 64, "give up after this many consecutive 429/503 rejections")
 		retryBase  = flag.Duration("retry-base", 0, "first retry's maximum jittered delay (0 = 5ms)")
 		retryCap   = flag.Duration("retry-cap", 0, "retry delay growth cap (0 = 1s)")
@@ -100,120 +102,148 @@ func main() {
 		dequeued  = make([]atomic.Int64, *tenants)
 		deltaSums = make([]atomic.Uint64, *tenants)
 	)
-	perWorker := *ops / *workers
-	start := time.Now()
-	wg.Add(*workers)
-	for w := 0; w < *workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			client := &http.Client{Timeout: 30 * time.Second}
-			r := rng.NewXoshiro256(*seed + uint64(w)*0x9E3779B97F4A7C15)
-			tenantZipf := rng.NewZipf(r, *tenants, *thetaT)
-			prioZipf := rng.NewZipf(r, *prioSpace, *thetaP)
-			session := fmt.Sprintf("load-w%d", w)
-			// Full-jitter exponential backoff for 429/503 rejections, honoring
-			// the server's Retry-After as the delay floor — the shed rungs hint
-			// 1/2/4s precisely so a rejected fleet spreads out instead of
-			// re-synchronizing into the herd that caused the shedding.
-			bo := pad.NewRetryBackoff(*retryBase, *retryCap, *seed+uint64(w))
-			consecutive := 0
-			for i := 0; i < perWorker; i++ {
-				tn := tenantZipf.Next() // Zipf variates are already 0-based
-				base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
-				var code int
-				var retryAfter time.Duration
-				var errMsg string
-				var err error
-				switch r.Intn(4) {
-				case 0, 1:
-					n := 1 + r.Intn(*batch)
-					items := make([]dlzd.WireItem, n)
-					for j := range items {
-						p := uint64(prioZipf.Next())
-						items[j] = dlzd.WireItem{Priority: p, Value: p}
-					}
-					code, retryAfter, errMsg, err = postJSON(client, base+"/enqueue-batch",
-						dlzd.EnqueueBatchRequest{Session: session, Items: items}, nil)
-					if code == http.StatusOK {
-						enqueued[tn].Add(int64(n))
-					}
-				case 2:
-					var deq dlzd.DeleteMinResponse
-					code, retryAfter, errMsg, err = postJSON(client, base+"/delete-min-up-to",
-						dlzd.DeleteMinRequest{Session: session, Max: 1 + r.Intn(*batch)}, &deq)
-					if code == http.StatusOK {
-						dequeued[tn].Add(int64(len(deq.Items)))
-					}
-				case 3:
-					n := 1 + r.Intn(*batch)
-					deltas := make([]uint64, n)
-					var sum uint64
-					for j := range deltas {
-						deltas[j] = 1 + r.Uint64n(100)
-						sum += deltas[j]
-					}
-					code, retryAfter, errMsg, err = postJSON(client, base+"/counter/add-batch",
-						dlzd.CounterAddRequest{Session: session, Deltas: deltas}, nil)
-					if code == http.StatusOK {
-						deltaSums[tn].Add(sum)
-					}
-				}
-				if err != nil {
-					log.Printf("worker %d: %v", w, err)
-					return
-				}
-				switch {
-				case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
-					// Backpressure or a busy session: sleep the jittered
-					// window (at least Retry-After), then press on with the
-					// next drawn operation.
-					rejected.Add(1)
-					if strings.Contains(errMsg, "shed") {
-						sheds.Add(1)
-					}
-					if code == http.StatusServiceUnavailable {
-						busy.Add(1)
-					}
-					consecutive++
-					if consecutive > *maxRetries {
-						log.Printf("worker %d: giving up after %d consecutive rejections (last: %d %s)",
-							w, consecutive, code, errMsg)
-						return
-					}
-					if *raMax > 0 && retryAfter > *raMax {
-						retryAfter = *raMax
-					}
-					retries.Add(1)
-					time.Sleep(bo.Next(retryAfter))
-				case code != http.StatusOK:
-					log.Printf("worker %d: unexpected status %d (%s)", w, code, errMsg)
-					return
-				default:
-					consecutive = 0
-					bo.Reset()
-					opCount.Add(1)
-				}
-			}
-			// Flush the worker's leases on every tenant it may have touched.
-			for tn := 0; tn < *tenants; tn++ {
-				base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
-				if _, _, _, err := postJSON(client, base+"/session/close",
-					dlzd.SessionCloseRequest{Session: session}, nil); err != nil {
-					log.Printf("worker %d: close tenant %d: %v", w, tn, err)
-				}
-			}
-		}(w)
+	// One stage at -workers by default; -ramp-workers splits the op budget
+	// across stages of increasing concurrency so a daemon running the
+	// autoscale controller sees ramping contention (grow pressure) followed,
+	// once the run quiesces, by idle (shrink pressure).
+	stages := []int{*workers}
+	if *ramp != "" {
+		lo, hi, step, err := parseRamp(*ramp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlzd-load:", err)
+			os.Exit(2)
+		}
+		stages = stages[:0]
+		for n := lo; n < hi; n += step {
+			stages = append(stages, n)
+		}
+		stages = append(stages, hi)
 	}
-	wg.Wait()
+
+	worker := func(w, perWorker int) {
+		defer wg.Done()
+		client := &http.Client{Timeout: 30 * time.Second}
+		r := rng.NewXoshiro256(*seed + uint64(w)*0x9E3779B97F4A7C15)
+		tenantZipf := rng.NewZipf(r, *tenants, *thetaT)
+		prioZipf := rng.NewZipf(r, *prioSpace, *thetaP)
+		session := fmt.Sprintf("load-w%d", w)
+		// Full-jitter exponential backoff for 429/503 rejections, honoring
+		// the server's Retry-After as the delay floor — the shed rungs hint
+		// 1/2/4s precisely so a rejected fleet spreads out instead of
+		// re-synchronizing into the herd that caused the shedding.
+		bo := pad.NewRetryBackoff(*retryBase, *retryCap, *seed+uint64(w))
+		consecutive := 0
+		for i := 0; i < perWorker; i++ {
+			tn := tenantZipf.Next() // Zipf variates are already 0-based
+			base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
+			var code int
+			var retryAfter time.Duration
+			var errMsg string
+			var err error
+			switch r.Intn(4) {
+			case 0, 1:
+				n := 1 + r.Intn(*batch)
+				items := make([]dlzd.WireItem, n)
+				for j := range items {
+					p := uint64(prioZipf.Next())
+					items[j] = dlzd.WireItem{Priority: p, Value: p}
+				}
+				code, retryAfter, errMsg, err = postJSON(client, base+"/enqueue-batch",
+					dlzd.EnqueueBatchRequest{Session: session, Items: items}, nil)
+				if code == http.StatusOK {
+					enqueued[tn].Add(int64(n))
+				}
+			case 2:
+				var deq dlzd.DeleteMinResponse
+				code, retryAfter, errMsg, err = postJSON(client, base+"/delete-min-up-to",
+					dlzd.DeleteMinRequest{Session: session, Max: 1 + r.Intn(*batch)}, &deq)
+				if code == http.StatusOK {
+					dequeued[tn].Add(int64(len(deq.Items)))
+				}
+			case 3:
+				n := 1 + r.Intn(*batch)
+				deltas := make([]uint64, n)
+				var sum uint64
+				for j := range deltas {
+					deltas[j] = 1 + r.Uint64n(100)
+					sum += deltas[j]
+				}
+				code, retryAfter, errMsg, err = postJSON(client, base+"/counter/add-batch",
+					dlzd.CounterAddRequest{Session: session, Deltas: deltas}, nil)
+				if code == http.StatusOK {
+					deltaSums[tn].Add(sum)
+				}
+			}
+			if err != nil {
+				log.Printf("worker %d: %v", w, err)
+				return
+			}
+			switch {
+			case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+				// Backpressure or a busy session: sleep the jittered
+				// window (at least Retry-After), then press on with the
+				// next drawn operation.
+				rejected.Add(1)
+				if strings.Contains(errMsg, "shed") {
+					sheds.Add(1)
+				}
+				if code == http.StatusServiceUnavailable {
+					busy.Add(1)
+				}
+				consecutive++
+				if consecutive > *maxRetries {
+					log.Printf("worker %d: giving up after %d consecutive rejections (last: %d %s)",
+						w, consecutive, code, errMsg)
+					return
+				}
+				if *raMax > 0 && retryAfter > *raMax {
+					retryAfter = *raMax
+				}
+				retries.Add(1)
+				time.Sleep(bo.Next(retryAfter))
+			case code != http.StatusOK:
+				log.Printf("worker %d: unexpected status %d (%s)", w, code, errMsg)
+				return
+			default:
+				consecutive = 0
+				bo.Reset()
+				opCount.Add(1)
+			}
+		}
+		// Flush the worker's leases on every tenant it may have touched.
+		for tn := 0; tn < *tenants; tn++ {
+			base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
+			if _, _, _, err := postJSON(client, base+"/session/close",
+				dlzd.SessionCloseRequest{Session: session}, nil); err != nil {
+				log.Printf("worker %d: close tenant %d: %v", w, tn, err)
+			}
+		}
+	}
+
+	start := time.Now()
+	nextWorker := 0
+	for si, n := range stages {
+		stageOps := *ops / len(stages)
+		if si == len(stages)-1 {
+			stageOps = *ops - stageOps*(len(stages)-1) // last stage takes the remainder
+		}
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go worker(nextWorker, stageOps/n)
+			nextWorker++
+		}
+		wg.Wait() // stage barrier: the next rung starts only after this one quiesces
+	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("dlzd-load: %d ops in %v (%.0f ops/s), %d rejections (%d shed, %d busy-503), %d jittered retries\n",
+	fmt.Printf("dlzd-load: %d ops in %v (%.0f ops/s, %d ramp stages), %d rejections (%d shed, %d busy-503), %d jittered retries\n",
 		opCount.Load(), elapsed.Round(time.Millisecond),
-		float64(opCount.Load())/elapsed.Seconds(), rejected.Load(), sheds.Load(), busy.Load(), retries.Load())
+		float64(opCount.Load())/elapsed.Seconds(), len(stages), rejected.Load(), sheds.Load(), busy.Load(), retries.Load())
 	if *quiet {
 		return
 	}
 	client := &http.Client{Timeout: 10 * time.Second}
+	var epochs uint64
 	for tn := 0; tn < *tenants; tn++ {
 		resp, err := client.Get(fmt.Sprintf("%s/v1/load%d/stats", *addr, tn))
 		if err != nil {
@@ -236,7 +266,29 @@ func main() {
 			st.CounterExact+st.BufferedCounterWeight != deltaSums[tn].Load() {
 			verdict = "MISMATCH"
 		}
-		fmt.Printf("  tenant load%d: queue=%d (ledger %d) counter=%d (ledger %d) leases=%d quota=%d [%s]\n",
-			tn, st.QueueLen, want, st.CounterExact, deltaSums[tn].Load(), st.Leases, st.QuotaUsed, verdict)
+		epochs += st.Resizes
+		fmt.Printf("  tenant load%d: queue=%d (ledger %d) counter=%d (ledger %d) m=%d epochs=%d leases=%d quota=%d [%s]\n",
+			tn, st.QueueLen, want, st.CounterExact, deltaSums[tn].Load(), st.CurrentM, st.Resizes, st.Leases, st.QuotaUsed, verdict)
 	}
+	fmt.Printf("dlzd-load: observed %d resize epochs across %d tenants\n", epochs, *tenants)
+}
+
+// parseRamp parses the -ramp-workers spec "lo:hi:step" into a staged
+// concurrency ladder.
+func parseRamp(s string) (lo, hi, step int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-ramp-workers wants lo:hi:step, got %q", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		if vals[i], err = strconv.Atoi(p); err != nil {
+			return 0, 0, 0, fmt.Errorf("-ramp-workers wants integer lo:hi:step, got %q", s)
+		}
+	}
+	lo, hi, step = vals[0], vals[1], vals[2]
+	if lo < 1 || hi < lo || step < 1 {
+		return 0, 0, 0, fmt.Errorf("-ramp-workers wants 1 <= lo <= hi and step >= 1, got %q", s)
+	}
+	return lo, hi, step, nil
 }

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/dlz"
 	"repro/dlzd"
 	"repro/internal/cpq"
 )
@@ -36,7 +37,13 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8377", "listen address")
-		queues      = flag.Int("queues", 64, "m: queues/counter shards per tenant")
+		queues      = flag.Int("queues", 64, "initial m: queues/counter shards per tenant")
+		minQueues   = flag.Int("min-queues", 0, "lower resize bound on m (0 = pin to -queues)")
+		maxQueues   = flag.Int("max-queues", 0, "upper resize bound on m (0 = pin to -queues)")
+		autoscale   = flag.Bool("autoscale", false, "enable the contention-driven resize controller (janitor-ticked; needs -min-queues/-max-queues)")
+		growThresh  = flag.Float64("autoscale-grow", 0, "controller grow pressure threshold (0 = default 0.5)")
+		shrinkThr   = flag.Float64("autoscale-shrink", 0, "controller shrink pressure threshold (0 = default 0.05; negative disables shrinking)")
+		dwell       = flag.Int("autoscale-dwell", 0, "controller dwell in janitor ticks between steps (0 = default 2)")
 		backingName = flag.String("backing", cpq.BackingBinary.String(), "per-queue backing structure")
 		capacity    = flag.Int("capacity", 1024, "per-queue preallocation hint")
 		choices     = flag.Int("choices", 2, "d: random choices per dequeue/increment")
@@ -76,8 +83,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var as *dlz.AutoScale
+	if *autoscale {
+		as = &dlz.AutoScale{
+			GrowThreshold:   *growThresh,
+			ShrinkThreshold: *shrinkThr,
+			Dwell:           *dwell,
+		}
+	}
 	srv := dlzd.New(dlzd.Config{
 		Queues:         *queues,
+		MinQueues:      *minQueues,
+		MaxQueues:      *maxQueues,
+		AutoScale:      as,
 		Backing:        backing,
 		Capacity:       *capacity,
 		Choices:        *choices,

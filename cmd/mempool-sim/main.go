@@ -97,8 +97,9 @@ func main() {
 	}
 	cfg := mempool.Config{
 		Queue: core.MultiQueueConfig{
-			Queues: *m, Choices: *choices, Stickiness: *stickiness, Batch: *batch,
-			Backing: backing, Seed: *seed,
+			Topology: core.Topology{InitialM: *m},
+			Choices:  *choices, Stickiness: *stickiness, Batch: *batch,
+			Backing:  backing, Seed: *seed,
 		},
 		Capacity: *capacity,
 		BumpNum:  *bumpNum,

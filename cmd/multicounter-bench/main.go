@@ -85,7 +85,8 @@ func main() {
 		for _, mf := range []int{*mfactor, 2 * *mfactor, 4 * *mfactor} {
 			m := mf * threads
 			mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
-				Counters: m, Choices: *choices, Stickiness: *stickiness, Batch: *batch,
+				Topology: core.Topology{InitialM: m},
+				Choices:  *choices, Stickiness: *stickiness, Batch: *batch,
 				Affinity: *affinity,
 			})
 			ops, elapsed := harness.RunTimed(threads, *dur, func(id int, stop *atomic.Bool) int64 {

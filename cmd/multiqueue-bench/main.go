@@ -49,7 +49,7 @@ func main() {
 			{"coarse-exact[m=1]", 1},
 			{fmt.Sprintf("multiqueue[m=%d·n]", *mfactor), *mfactor * threads},
 		} {
-			q := core.NewMultiQueue(core.MultiQueueConfig{Queues: cfg.m, Seed: *seed})
+			q := core.NewMultiQueue(core.MultiQueueConfig{Topology: core.Topology{InitialM: cfg.m}, Seed: *seed})
 			// Prefill so dequeues always find elements.
 			pre := q.NewHandle(*seed + 1)
 			for i := 0; i < 10_000; i++ {
@@ -72,7 +72,7 @@ func main() {
 }
 
 func runRanks(m, ops int, seed uint64, csv bool) {
-	q := core.NewMultiQueue(core.MultiQueueConfig{Queues: m, Seed: seed})
+	q := core.NewMultiQueue(core.MultiQueueConfig{Topology: core.Topology{InitialM: m}, Seed: seed})
 	const buffer = 4096
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), buffer, ops)
 	tb := harness.NewTable(

@@ -261,17 +261,22 @@ func driftVerdict(what string, affineMean, uniformMean, affineMax, uniformMax, e
 // mean stayed inside the envelope.
 func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch int, affinity float64, seed uint64, csv bool) bool {
 	mc := core.NewMultiCounterConfig(core.MultiCounterConfig{
-		Counters: m, Choices: choices, Stickiness: stickiness, Batch: batch, Affinity: affinity,
+		Topology: core.Topology{InitialM: m},
+		Choices:  choices, Stickiness: stickiness, Batch: batch, Affinity: affinity,
 	})
 	tb := harness.NewTable(
 		fmt.Sprintf("Figure 1(b): MultiCounter quality (single thread, m=%d, d=%d, s=%d, k=%d, a=%v)",
 			m, mc.Choices(), mc.Stickiness(), mc.Batch(), mc.Affinity()),
 		"increments", "read-value", "abs-error", "max-gap", "envelope(m log m)")
-	envelope := dlin.Envelope(m)
 	dev := quality.MeasureCounterDeviation(mc.NewHandle(seed), int(incs), int(samples),
 		func(issued, read, absErr, gap uint64) {
-			tb.Add(issued, read, absErr, gap, envelope)
+			// Envelope at the counter's live shard count, sampled per row:
+			// a resize mid-audit moves the committed bound with it.
+			tb.Add(issued, read, absErr, gap, dlin.Envelope(mc.M()))
 		})
+	// The verdict scores against the post-run shard count, not the -m flag
+	// (identical for a fixed topology; live m for an elastic one).
+	envelope := dlin.Envelope(mc.M())
 	within := dev.MeanAbsError <= envelope
 	verdict := "PASS"
 	if !within {
@@ -289,7 +294,8 @@ func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch in
 		// deviation drift the stripe policy costs — the counter side of the
 		// benchall affine gate, reproduced interactively.
 		uniMC := core.NewMultiCounterConfig(core.MultiCounterConfig{
-			Counters: m, Choices: choices, Stickiness: stickiness, Batch: batch,
+			Topology: core.Topology{InitialM: m},
+			Choices:  choices, Stickiness: stickiness, Batch: batch,
 		})
 		uni := quality.MeasureCounterDeviation(uniMC.NewHandle(seed), int(incs), int(samples), nil)
 		within = driftVerdict("dev", dev.MeanAbsError, uni.MeanAbsError,
@@ -306,11 +312,14 @@ func runCounterQuality(m int, incs, samples int64, choices, stickiness, batch in
 // the measured mean lies inside the O(m·log m) envelope.
 func runQueueQuality(m, ops, choices, stickiness, batch int, affinity float64, backing cpq.Backing, lockedTop bool, seed uint64, csv bool) bool {
 	q := core.NewMultiQueue(core.MultiQueueConfig{
-		Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
+		Topology: core.Topology{InitialM: m},
+		Seed:     seed, Choices: choices, Stickiness: stickiness, Batch: batch,
 		Affinity: affinity, Backing: backing, LockedTopRead: lockedTop,
 	})
 	sample := quality.MeasureDequeueRank(q.NewHandle(seed+1), 64*m, ops)
-	envelope := dlin.Envelope(m)
+	// The verdict scores against the post-run shard count, not the -m flag
+	// (identical for a fixed topology; live m for an elastic one).
+	envelope := dlin.Envelope(q.M())
 	mean := sample.Mean()
 	within := mean <= envelope
 	verdict := "PASS"
@@ -343,8 +352,9 @@ func runQueueQuality(m, ops, choices, stickiness, batch int, affinity float64, b
 		// drift the stripe policy costs — the queue side of the benchall
 		// affine gate, reproduced interactively.
 		uniQ := core.NewMultiQueue(core.MultiQueueConfig{
-			Queues: m, Seed: seed, Choices: choices, Stickiness: stickiness, Batch: batch,
-			Backing: backing, LockedTopRead: lockedTop,
+			Topology: core.Topology{InitialM: m},
+			Seed:     seed, Choices: choices, Stickiness: stickiness, Batch: batch,
+			Backing:  backing, LockedTopRead: lockedTop,
 		})
 		uni := quality.MeasureDequeueRank(uniQ.NewHandle(seed+1), 64*m, ops)
 		within = driftVerdict("rank", mean, uni.Mean(), sample.Max(), uni.Max(), envelope, within)
@@ -362,8 +372,9 @@ func runMempoolQuality(m, choices, stickiness, batch int, backing cpq.Backing, c
 	txops, senders int, theta, popfrac float64, seed uint64, csv bool) bool {
 	cfg := mempool.Config{
 		Queue: core.MultiQueueConfig{
-			Queues: m, Choices: choices, Stickiness: stickiness, Batch: batch,
-			Backing: backing, Seed: seed,
+			Topology: core.Topology{InitialM: m},
+			Choices:  choices, Stickiness: stickiness, Batch: batch,
+			Backing:  backing, Seed: seed,
 		},
 		Capacity: capacity,
 		Seed:     seed + 1,

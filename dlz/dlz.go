@@ -49,6 +49,41 @@
 //		_ = approx
 //	}(0)
 //
+// # Elastic capacity (migrating from fixed m)
+//
+// Both structures now size themselves through a shared Topology — initial,
+// minimum and maximum live shard counts plus an optional contention-driven
+// AutoScale controller — instead of a frozen constructor argument. The
+// fixed-m forms keep working unchanged (a zero Topology pins
+// MinM = MaxM = m), so existing code needs no edits; code that wants
+// elasticity migrates like this:
+//
+//	// before: frozen shard count
+//	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{Queues: 64})
+//	// after: start at 64, resizable in [16, 256], manual control
+//	q = dlz.NewMultiQueue(dlz.MultiQueueConfig{
+//		Topology: dlz.Topology{InitialM: 64, MinM: 16, MaxM: 256},
+//	})
+//	q.Resize(128) // returns the count actually in effect
+//	// or hand control to the contention-driven controller:
+//	q = dlz.NewMultiQueue(dlz.MultiQueueConfig{
+//		Topology: dlz.Topology{InitialM: 64, MinM: 16, MaxM: 256,
+//			AutoScale: &dlz.AutoScale{}}, // zero value = default policy
+//	})
+//	go func() { // a pacer goroutine ticks the controller
+//		for range time.Tick(100 * time.Millisecond) {
+//			q.AutoScaleTick()
+//		}
+//	}()
+//
+// The MultiCounter mirrors this with dlz.WithTopology/dlz.WithAutoScale
+// options (its AutoScaleTick takes the caller's pressure signal — counter
+// updates are wait-free and expose no contention of their own). Resizes are
+// epoch-published: handles notice a flip with one atomic load and re-seed
+// in place, outstanding ElemRefs survive shrinks through an internal
+// forwarding table, and MultiQueue.Stats/MultiCounter.Stats report
+// CurrentM/Epoch/Resizes (DESIGN.md §11).
+//
 // The implementation lives in repro/internal/core; this package pins the
 // stable names a downstream user imports.
 package dlz
@@ -89,6 +124,23 @@ type ElemRef = core.ElemRef
 
 // MultiQueueConfig configures NewMultiQueue.
 type MultiQueueConfig = core.MultiQueueConfig
+
+// Topology is the shared elastic capacity surface of both structures:
+// initial/min/max live shard counts plus the optional AutoScale controller.
+// Embedded in MultiQueueConfig and MultiCounterConfig; the zero value keeps
+// the deprecated fixed-m behavior.
+type Topology = core.Topology
+
+// AutoScale configures the contention-driven resize controller (thresholds
+// and dwell; the zero value selects the default policy).
+type AutoScale = core.AutoScale
+
+// MQStats aggregates a MultiQueue's event counters and elasticity signals
+// (CurrentM/Epoch/Resizes) — the snapshot dlzd exports per tenant.
+type MQStats = core.MQStats
+
+// MCStats carries a MultiCounter's elasticity signals.
+type MCStats = core.MCStats
 
 // Timestamps is the MultiCounter-backed relaxed timestamp oracle.
 type Timestamps = core.Timestamps
@@ -143,6 +195,16 @@ var WithBatch = core.WithBatch
 // choices, the paper's assumption. The MultiQueue counterpart is
 // MultiQueueConfig.Affinity.
 var WithAffinity = core.WithAffinity
+
+// WithTopology sets the MultiCounter's elastic capacity surface (see the
+// package comment's migration note). The MultiQueue counterpart is
+// MultiQueueConfig.Topology.
+var WithTopology = core.WithTopology
+
+// WithAutoScale bounds the MultiCounter's live shard count to [minM, maxM]
+// and enables the contention-driven controller. The MultiQueue counterpart
+// is Topology.AutoScale in MultiQueueConfig.Topology.
+var WithAutoScale = core.WithAutoScale
 
 // NewMultiQueue returns a MultiQueue with the given configuration.
 func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue { return core.NewMultiQueue(cfg) }

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/dlz"
 	"repro/internal/cpq"
 	"repro/internal/fail"
 )
@@ -50,10 +51,22 @@ const MaxWireBatch = 4096
 // serviceable default; Queues is the only field without one that matters
 // (it defaults to 64).
 type Config struct {
-	// Queues is m for each tenant's MultiQueue and MultiCounter (default
-	// 64). For the paper's guarantees it should be a large constant multiple
-	// of the expected concurrent session count per tenant.
+	// Queues is the initial m for each tenant's MultiQueue and MultiCounter
+	// (default 64). For the paper's guarantees it should be a large constant
+	// multiple of the expected concurrent session count per tenant.
 	Queues int
+	// MinQueues and MaxQueues bound each tenant's live shard count for
+	// manual resizes (POST /v1/{tenant}/resize) and the AutoScale
+	// controller. 0 pins the bound to Queues — both zero is the fixed-m
+	// pre-elastic behavior. Must satisfy 1 <= MinQueues <= Queues <=
+	// MaxQueues when set.
+	MinQueues int
+	MaxQueues int
+	// AutoScale enables the per-tenant contention-driven resize controller
+	// (dlz.AutoScale semantics): the janitor ticks each tenant queue's
+	// controller once per sweep, and the tenant counter's shard count
+	// tracks the queue's. nil leaves resizing under manual control.
+	AutoScale *dlz.AutoScale
 	// Backing selects the per-queue sequential structure (default binary;
 	// cpq.BackingDAry is the fastest for the batched wire path).
 	Backing cpq.Backing
@@ -139,6 +152,16 @@ func New(cfg Config) *Server {
 	if cfg.Choices < 0 {
 		panic("dlzd: Config.Choices must be >= 0")
 	}
+	minQ, maxQ := cfg.MinQueues, cfg.MaxQueues
+	if minQ == 0 {
+		minQ = cfg.Queues
+	}
+	if maxQ == 0 {
+		maxQ = cfg.Queues
+	}
+	if minQ < 1 || minQ > cfg.Queues || cfg.Queues > maxQ {
+		panic("dlzd: Config needs 1 <= MinQueues <= Queues <= MaxQueues")
+	}
 	if cfg.ShedTarget > 0 && cfg.ShedHold <= 0 {
 		cfg.ShedHold = 100 * time.Millisecond
 	}
@@ -202,12 +225,32 @@ func (s *Server) ExpireIdle(cutoff time.Time) int {
 	return n
 }
 
-// StartJanitor launches the idle-expiry loop (every interval, expire leases
-// idle for Config.IdleTimeout) and returns its stop function. With
-// IdleTimeout 0 it returns a no-op stop without launching anything.
-// interval <= 0 defaults to IdleTimeout / 4.
+// AutoScaleTick advances every tenant's contention-driven controller one
+// tick (queue first, counter tracking the queue's shard count), returning
+// the number of tenants that resized. A no-op unless Config.AutoScale is
+// set. The janitor calls it on its sweep timer; tests call it directly for
+// deterministic resize epochs.
+func (s *Server) AutoScaleTick() int {
+	if s.cfg.AutoScale == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range s.tenantSnapshot() {
+		if t.autoScaleTick() {
+			n++
+		}
+	}
+	return n
+}
+
+// StartJanitor launches the maintenance loop — every interval it expires
+// leases idle for Config.IdleTimeout and, with Config.AutoScale set, ticks
+// every tenant's resize controller — and returns its stop function. With
+// neither duty configured it returns a no-op stop without launching
+// anything. interval <= 0 defaults to IdleTimeout / 4 (1s when only
+// autoscaling).
 func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
-	if s.cfg.IdleTimeout <= 0 {
+	if s.cfg.IdleTimeout <= 0 && s.cfg.AutoScale == nil {
 		return func() {}
 	}
 	if interval <= 0 {
@@ -226,7 +269,10 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-tick.C:
-				s.ExpireIdle(time.Now().Add(-s.cfg.IdleTimeout))
+				if s.cfg.IdleTimeout > 0 {
+					s.ExpireIdle(time.Now().Add(-s.cfg.IdleTimeout))
+				}
+				s.AutoScaleTick()
 			}
 		}
 	}()
@@ -247,7 +293,7 @@ func (s *Server) Close() {
 // ServeHTTP routes the wire API. The path grammar is Go 1.21-compatible
 // manual parsing: /healthz, /metrics, and /v1/{tenant}/{op} where op is one
 // of enqueue-batch, delete-min-up-to, counter/add-batch, counter/read,
-// session/close, stats.
+// session/close, resize, stats.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server closed")
@@ -368,6 +414,8 @@ func (s *Server) serveTenantOp(w http.ResponseWriter, r *http.Request, rest stri
 		s.handleCounterRead(w, r, t, oc)
 	case "session/close":
 		s.handleSessionClose(w, r, t)
+	case "resize":
+		s.handleResize(w, r, t)
 	case "stats":
 		s.handleStats(w, r, t)
 	default:
@@ -612,6 +660,26 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request, t *t
 	writeJSON(w, SessionCloseResponse{Closed: t.closeSession(req.Session)})
 }
 
+// handleResize serves POST /v1/{tenant}/resize: move the tenant's live
+// shard count to the requested m, clamped to the server's
+// [MinQueues, MaxQueues] range, with the counter tracking the queue. The
+// response reports the count actually in effect — administrative clients
+// treat a clamped result as success, not an error.
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request, t *tenant) {
+	var req ResizeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.M < 1 {
+		writeError(w, http.StatusBadRequest, "m must be >= 1")
+		return
+	}
+	m := t.mq.Resize(req.M)
+	t.mc.Resize(m)
+	st := t.mq.Stats()
+	writeJSON(w, ResizeResponse{M: m, Epoch: st.Epoch, Resizes: st.Resizes})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
@@ -638,5 +706,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 		RepairFailures:        t.repairFailures.Load(),
 		Invalidations:         mqs.Invalidations,
 		Reclaimed:             mqs.Reclaimed,
+		CurrentM:              mqs.CurrentM,
+		Epoch:                 mqs.Epoch,
+		Resizes:               mqs.Resizes,
 	})
 }

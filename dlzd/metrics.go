@@ -47,6 +47,9 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 				LockContended: st.LockContended,
 				Invalidations: st.Invalidations,
 				Reclaimed:     st.Reclaimed,
+				CurrentM:      st.CurrentM,
+				Epoch:         st.Epoch,
+				Resizes:       st.Resizes,
 			},
 			agg: agg,
 		}
@@ -127,6 +130,16 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 	gauge("dlzd_shed_level", "Adaptive shed level (0-3), summed across tenants.", shedTotal)
 	perTenant("dlzd_shed_level", func(r tenantRow) uint64 { return uint64(r.t.shedLevel.Load()) })
 
+	// Elastic-topology series (DESIGN.md §11).
+	var mTotal int
+	for _, row := range rows {
+		mTotal += row.mq.CurrentM
+	}
+	gauge("dlzd_queue_current_m", "Live shard count of tenant MultiQueues, summed across tenants.", mTotal)
+	perTenant("dlzd_queue_current_m", func(r tenantRow) uint64 { return uint64(r.mq.CurrentM) })
+	sumCounter("dlzd_resize_epochs_total", "Completed resize epochs across tenant MultiQueues.",
+		func(r tenantRow) uint64 { return r.mq.Resizes })
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }
@@ -140,4 +153,7 @@ type MQStatsView struct {
 	LockContended uint64
 	Invalidations uint64
 	Reclaimed     uint64
+	CurrentM      int
+	Epoch         uint64
+	Resizes       uint64
 }

@@ -89,11 +89,23 @@ type lease struct {
 
 func newTenant(name string, srv *Server) *tenant {
 	cfg := srv.cfg
+	// The queue owns the AutoScale controller (it has the contention
+	// signal); the counter gets the same [MinQueues, MaxQueues] range but no
+	// controller of its own — autoScaleTick keeps its shard count tracking
+	// the queue's, so the paired structures always agree on m.
+	qTopo := dlz.Topology{
+		InitialM:  cfg.Queues,
+		MinM:      cfg.MinQueues,
+		MaxM:      cfg.MaxQueues,
+		AutoScale: cfg.AutoScale,
+	}
+	cTopo := qTopo
+	cTopo.AutoScale = nil
 	return &tenant{
 		name: name,
 		srv:  srv,
 		mq: dlz.NewMultiQueue(dlz.MultiQueueConfig{
-			Queues:     cfg.Queues,
+			Topology:   qTopo,
 			Backing:    cfg.Backing,
 			Capacity:   cfg.Capacity,
 			Seed:       srv.nextSeed(),
@@ -103,7 +115,7 @@ func newTenant(name string, srv *Server) *tenant {
 			Affinity:   cfg.Affinity,
 		}),
 		mc: dlz.NewMultiCounterConfig(dlz.MultiCounterConfig{
-			Counters:   cfg.Queues,
+			Topology:   cTopo,
 			Choices:    cfg.Choices,
 			Stickiness: cfg.Stickiness,
 			Batch:      cfg.Batch,
@@ -112,6 +124,16 @@ func newTenant(name string, srv *Server) *tenant {
 		quota:  dlz.NewMultiCounter(quotaShards),
 		leases: map[string]*lease{},
 	}
+}
+
+// autoScaleTick advances the tenant queue's contention-driven controller one
+// tick and, when it resized, moves the counter's shard count to match.
+func (t *tenant) autoScaleTick() bool {
+	m, resized := t.mq.AutoScaleTick()
+	if resized {
+		t.mc.Resize(m)
+	}
+	return resized
 }
 
 // lease returns the live lease for token, creating one on first use. The

@@ -95,7 +95,10 @@ func main() {
 	want := dpOptimum(items, cap)
 
 	workers := runtime.GOMAXPROCS(0)
-	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{Queues: 8 * workers, Capacity: 1 << 14, Seed: 3})
+	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{
+		Topology: dlz.Topology{InitialM: 8 * workers},
+		Capacity: 1 << 14, Seed: 3,
+	})
 
 	// Node arena: the queue carries 64-bit values, so nodes live in a
 	// mutex-guarded grow-only arena and the queue carries indices.

@@ -22,7 +22,10 @@ func main() {
 		perWorker = 200_000
 		shards    = 64 // m; keep m >= C * workers for the paper's guarantee
 	)
-	mc := dlz.NewMultiCounter(shards)
+	// The Topology form of the constructor; dlz.NewMultiCounter(shards) is
+	// the fixed-m shorthand, and adding MinM/MaxM + dlz.WithAutoScale here
+	// would let the shard count track contention at runtime.
+	mc := dlz.NewMultiCounter(shards, dlz.WithTopology(dlz.Topology{InitialM: shards}))
 
 	var wg sync.WaitGroup
 	wg.Add(workers)

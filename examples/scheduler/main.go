@@ -94,7 +94,10 @@ func main() {
 	}
 	dist[src].Store(0)
 
-	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{Queues: 8 * workers, Capacity: 4096, Seed: 2})
+	q := dlz.NewMultiQueue(dlz.MultiQueueConfig{
+		Topology: dlz.Topology{InitialM: 8 * workers},
+		Capacity: 4096, Seed: 2,
+	})
 	var pending atomic.Int64
 	var pops, stale atomic.Int64
 

@@ -54,12 +54,18 @@ import (
 //	    MempoolFeeLossLimit). The MQ/MC shapes are unchanged, so committed
 //	    v5 reports remain valid: ValidateFile now accepts any schema in
 //	    [MinSchemaVersion, SchemaVersion].
-const SchemaVersion = 6
+//	7 — PR 9: MQPoint gains the optional elastic axis (MQElasticity: the
+//	    topology bounds, controller mode and final shard count of a point
+//	    measured under resize epochs — cmd/benchall's fixed-m vs autoscale
+//	    comparison under ramping-goroutine load). The field is omitted for
+//	    fixed-m points, so committed v5/v6 reports remain byte-identical on
+//	    round-trip; ValidateMQ checks CurrentM ∈ [MinM, MaxM] when present.
+const SchemaVersion = 7
 
-// MinSchemaVersion is the oldest schema ValidateFile still accepts. v6 only
-// added a new report shape, so the committed v5 BENCH_*.json need no
-// regeneration; bump this alongside SchemaVersion whenever an EXISTING shape
-// changes.
+// MinSchemaVersion is the oldest schema ValidateFile still accepts. v6 and
+// v7 only added a new report shape and an optional point field, so the
+// committed v5 BENCH_*.json need no regeneration; bump this alongside
+// SchemaVersion whenever an EXISTING shape changes.
 const MinSchemaVersion = 5
 
 // MempoolFeeLossLimit bounds the fee-revenue fraction the relaxed mempool
@@ -162,6 +168,32 @@ type MQPoint struct {
 	// enqueue+dequeue pair at this (m, backing, stickiness, batch) setting —
 	// 0 for every heap-array backing once the handle buffers are warm.
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Elastic reports the elastic-topology outcome of a point measured under
+	// resize epochs (schema v7). Omitted for fixed-m points, so committed
+	// v5/v6 reports keep round-tripping byte-identically. For elastic points
+	// M and the quality audit are taken at the final (post-resize) shard
+	// count, which Elastic.CurrentM repeats alongside the topology bounds.
+	Elastic *MQElasticity `json:"elastic,omitempty"`
+}
+
+// MQElasticity is the elastic axis of one MQPoint: the Topology bounds the
+// queue ran under, whether the contention-driven controller was live, and
+// where the shard count ended up.
+type MQElasticity struct {
+	// InitialM/MinM/MaxM mirror core.Topology: the shard count the queue
+	// started at and the clamp range every resize honors.
+	InitialM int `json:"initial_m"`
+	MinM     int `json:"min_m"`
+	MaxM     int `json:"max_m"`
+	// AutoScale reports whether the contention-driven controller was ticked
+	// during the measurement (false = the fixed-m comparator, which pins
+	// MinM == MaxM and can never move).
+	AutoScale bool `json:"autoscale"`
+	// CurrentM is the live shard count after the measurement (and the forced
+	// grow/shrink conservation cycle the sweep appends); Resizes counts the
+	// completed resize epochs, controller-driven plus forced.
+	CurrentM int    `json:"current_m"`
+	Resizes  uint64 `json:"resizes"`
 }
 
 // MQSummary is the headline the MultiQueue perf trajectory tracks.
@@ -498,6 +530,14 @@ func ValidateMQ(r *MQReport) error {
 		}
 		if pt.Seconds <= 0 || pt.Ops < 0 || pt.Mops < 0 || pt.Speedup < 0 {
 			return fmt.Errorf("point %d: implausible measurements (ops %d in %.3fs)", i, pt.Ops, pt.Seconds)
+		}
+		if e := pt.Elastic; e != nil {
+			if !(1 <= e.MinM && e.MinM <= e.CurrentM && e.CurrentM <= e.MaxM) {
+				return fmt.Errorf("point %d: elastic current_m %d outside [%d, %d]", i, e.CurrentM, e.MinM, e.MaxM)
+			}
+			if e.InitialM < e.MinM || e.InitialM > e.MaxM {
+				return fmt.Errorf("point %d: elastic initial_m %d outside [%d, %d]", i, e.InitialM, e.MinM, e.MaxM)
+			}
 		}
 	}
 	if r.Summary.GateThreads < 1 {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/counters"
+	"repro/internal/pad"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -26,13 +28,23 @@ import (
 // (DESIGN.md §2). cmd/quality and cmd/benchall audit the deviation cost of
 // any setting against the m·log₂m envelope.
 type MultiCounter struct {
-	shards   *counters.Sharded
-	m        int
+	shards   *counters.Sharded // sized Topology.MaxM; cells >= live m idle at 0
+	topo     Topology
 	d        int
 	stick    int
 	batch    int
 	affinity float64
 	nextID   atomic.Uint64 // handle ids, assigned at NewHandle
+
+	// Elastic topology state, mirroring the MultiQueue's (DESIGN.md §11):
+	// epoch publishes (resize epoch, live m) in one padded atomic word.
+	// Counter cells need no sealing — a straggler increment landing in a
+	// retired cell is swept up by the next resize's re-level and still
+	// counted by Exact, which sums the full MaxM array.
+	epoch    pad.EpochWord
+	resizeMu sync.Mutex
+	resizes  atomic.Uint64
+	scal     scaler
 }
 
 // MultiCounterConfig configures NewMultiCounter. The zero value of optional
@@ -40,10 +52,18 @@ type MultiCounter struct {
 // batching — Algorithm 1 exactly).
 type MultiCounterConfig struct {
 	// Counters is m, the number of atomic counters (Algorithm 1's bins).
-	// Required. For Theorem 6.1's guarantees m should be a large constant
-	// multiple of the thread count; m ≈ 4–8× threads balances well in
-	// practice (Figure 1a).
+	// For Theorem 6.1's guarantees m should be a large constant multiple of
+	// the thread count; m ≈ 4–8× threads balances well in practice
+	// (Figure 1a).
+	//
+	// Deprecated: set Topology.InitialM instead. Counters is kept as the
+	// legacy fixed-m form — when Topology is the zero value it behaves
+	// exactly as before (MinM = MaxM = Counters, no resizing).
 	Counters int
+	// Topology is the redesigned capacity surface: initial, minimum and
+	// maximum live shard counts plus the optional AutoScale controller
+	// (DESIGN.md §11). A zero InitialM adopts Counters.
+	Topology Topology
 	// Choices is d, the number of random counters an increment samples
 	// before incrementing the smallest. 0 selects the paper's d = 2;
 	// d = 1 is the divergent single-choice process (ablation A1); d > 2
@@ -118,6 +138,25 @@ func WithAffinity(a float64) MultiCounterOption {
 	return func(cfg *MultiCounterConfig) { cfg.Affinity = a }
 }
 
+// WithTopology sets MultiCounterConfig.Topology, the elastic capacity
+// surface (DESIGN.md §11). Passing a Topology whose InitialM is 0 keeps the
+// constructor's m argument as the initial live shard count while still
+// widening the [MinM, MaxM] resize range.
+func WithTopology(t Topology) MultiCounterOption {
+	return func(cfg *MultiCounterConfig) { cfg.Topology = t }
+}
+
+// WithAutoScale bounds the live shard count to [minM, maxM] and enables the
+// contention-driven controller with policy as (zero-value fields take the
+// AutoScale defaults). Shorthand for WithTopology with an AutoScale set.
+func WithAutoScale(minM, maxM int, as AutoScale) MultiCounterOption {
+	return func(cfg *MultiCounterConfig) {
+		cfg.Topology.MinM = minM
+		cfg.Topology.MaxM = maxM
+		cfg.Topology.AutoScale = &as
+	}
+}
+
 // NewMultiCounter returns a MultiCounter over m atomic counters with the
 // paper's per-operation two-choice defaults, adjusted by opts. It is the
 // convenience form of NewMultiCounterConfig.
@@ -133,9 +172,7 @@ func NewMultiCounter(m int, opts ...MultiCounterOption) *MultiCounter {
 // normalizing zero-valued optional fields to the paper's defaults (Choices 2,
 // Stickiness 1, Batch 1 — Algorithm 1 exactly).
 func NewMultiCounterConfig(cfg MultiCounterConfig) *MultiCounter {
-	if cfg.Counters <= 0 {
-		panic("core: MultiCounterConfig.Counters must be > 0")
-	}
+	topo := cfg.Topology.normalize(cfg.Counters, "MultiCounterConfig")
 	if cfg.Choices < 0 {
 		panic("core: MultiCounterConfig.Choices must be >= 0")
 	}
@@ -151,18 +188,118 @@ func NewMultiCounterConfig(cfg MultiCounterConfig) *MultiCounter {
 	if !(cfg.Affinity >= 0 && cfg.Affinity <= 1) { // rejects NaN too
 		panic("core: MultiCounterConfig.Affinity must be in [0, 1]")
 	}
-	return &MultiCounter{
-		shards:   counters.NewSharded(cfg.Counters),
-		m:        cfg.Counters,
+	mc := &MultiCounter{
+		shards:   counters.NewSharded(topo.MaxM),
+		topo:     topo,
 		d:        cfg.Choices,
 		stick:    cfg.Stickiness,
 		batch:    cfg.Batch,
 		affinity: cfg.Affinity,
 	}
+	mc.epoch.Init(0, topo.InitialM)
+	if topo.AutoScale != nil {
+		mc.scal = scaler{as: *topo.AutoScale}
+	}
+	return mc
 }
 
-// M returns the number of underlying counters.
-func (c *MultiCounter) M() int { return c.m }
+// M returns the live number of underlying counters — one atomic load of the
+// epoch word, current as of that instant (a concurrent Resize may move it).
+func (c *MultiCounter) M() int {
+	_, m := pad.UnpackEpoch(c.epoch.Load())
+	return m
+}
+
+// Topology returns the normalized capacity surface the counter was built
+// with.
+func (c *MultiCounter) Topology() Topology { return c.topo }
+
+// Epoch returns the resize epoch counter (0 until the first Resize).
+func (c *MultiCounter) Epoch() uint64 {
+	e, _ := pad.UnpackEpoch(c.epoch.Load())
+	return uint64(e)
+}
+
+// MCStats carries the MultiCounter's elasticity signals — the counter
+// counterpart of the MQStats resize fields (counter updates are wait-free,
+// so there are no contention counters to aggregate).
+type MCStats struct {
+	// CurrentM is the live shard count at snapshot time, Epoch the resize
+	// epoch counter, and Resizes the number of completed resize epochs.
+	CurrentM int
+	Epoch    uint64
+	Resizes  uint64
+}
+
+// Stats snapshots the elasticity signals without taking any locks.
+func (c *MultiCounter) Stats() MCStats {
+	e, m := pad.UnpackEpoch(c.epoch.Load())
+	return MCStats{CurrentM: m, Epoch: uint64(e), Resizes: c.resizes.Load()}
+}
+
+// Resize moves the live shard count to m (clamped to [MinM, MaxM]) and
+// returns the count actually in effect. The new epoch word publishes first,
+// routing new d-choice updates into the new live range; then every cell of
+// the full MaxM array is swapped to zero and the collected weight is spread
+// evenly over the new range (remainder on the lowest cells). Exact is
+// conserved to the unit: a racing increment lands either before its cell's
+// swap (collected and redistributed) or after (it stays in the cell, which
+// Exact's full-array sum still covers — a straggler in a retired cell is
+// folded back in by the next resize). Read's scaling uses the live m from
+// the same epoch word, so approximate reads stay consistent with the
+// re-leveled cells.
+func (c *MultiCounter) Resize(m int) int {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	return c.resizeLocked(m)
+}
+
+func (c *MultiCounter) resizeLocked(m int) int {
+	m = c.topo.clamp(m)
+	epoch, cur := pad.UnpackEpoch(c.epoch.Load())
+	if m == cur {
+		return cur
+	}
+	c.epoch.Store(epoch+1, m)
+	c.resizes.Add(1)
+	var w uint64
+	for i := 0; i < c.topo.MaxM; i++ {
+		w += c.shards.Swap(i, 0)
+	}
+	per := w / uint64(m)
+	rem := w % uint64(m)
+	for i := 0; i < m; i++ {
+		add := per
+		if uint64(i) < rem {
+			add++
+		}
+		if add > 0 {
+			c.shards.Add(i, add)
+		}
+	}
+	return m
+}
+
+// AutoScaleTick advances the contention-driven controller one tick using the
+// caller-supplied pressure signal and returns the live shard count plus
+// whether this tick resized. The counter's own updates are wait-free and
+// expose no internal contention, so the pressure comes from outside — dlzd
+// feeds each tenant's counter the pressure of its paired queue; standalone
+// users can derive one from whatever saturation signal they have. A counter
+// built without Topology.AutoScale never moves.
+func (c *MultiCounter) AutoScaleTick(pressure float64) (m int, resized bool) {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	_, cur := pad.UnpackEpoch(c.epoch.Load())
+	if c.topo.AutoScale == nil {
+		return cur, false
+	}
+	next := c.scal.decide(c.topo, cur, pressure)
+	if next == cur {
+		return cur, false
+	}
+	return c.resizeLocked(next), true
+}
 
 // Choices returns the configured number of random choices d (>= 1).
 func (c *MultiCounter) Choices() int { return c.d }
@@ -194,14 +331,15 @@ func (c *MultiCounter) Add(r *rng.Xoshiro256, delta uint64) { c.apply(r, delta) 
 
 // apply is the shared unamortised d-choice update.
 func (c *MultiCounter) apply(r *rng.Xoshiro256, delta uint64) {
+	m := c.M()
 	if c.d == 1 {
-		c.shards.Add(r.Intn(c.m), delta)
+		c.shards.Add(r.Intn(m), delta)
 		return
 	}
-	best := r.Intn(c.m)
+	best := r.Intn(m)
 	bestV := c.shards.Read(best)
 	for k := 1; k < c.d; k++ {
-		i := r.Intn(c.m)
+		i := r.Intn(m)
 		if v := c.shards.Read(i); v < bestV {
 			best, bestV = i, v
 		}
@@ -211,9 +349,11 @@ func (c *MultiCounter) apply(r *rng.Xoshiro256, delta uint64) {
 
 // Read returns m times the value of a uniformly random counter — the
 // approximate total (Algorithm 1's read, whose deviation Theorem 6.1
-// bounds by O(m·log m)).
+// bounds by O(m·log m)). Both the sample and the scale use the live m from
+// one epoch-word load.
 func (c *MultiCounter) Read(r *rng.Xoshiro256) uint64 {
-	return uint64(c.m) * c.shards.Read(r.Intn(c.m))
+	m := c.M()
+	return uint64(m) * c.shards.Read(r.Intn(m))
 }
 
 // Exact returns the sum of all counters. At quiescence (all handles flushed)
@@ -226,13 +366,19 @@ func (c *MultiCounter) Exact() uint64 { return c.shards.Sum() }
 // O(log m) bound drives Theorem 6.1). Non-atomic scan; for monitoring and
 // quality experiments.
 func (c *MultiCounter) Gap() uint64 {
-	min, max := c.shards.MinMax()
+	min, max := c.shards.MinMaxRange(0, c.M())
 	return max - min
 }
 
-// Snapshot copies the per-counter values into dst (len must equal M) for the
-// quality experiment's bin-distribution traces (Figure 1b).
-func (c *MultiCounter) Snapshot(dst []uint64) { c.shards.Snapshot(dst) }
+// Snapshot copies the live per-counter values into dst (len must equal M)
+// for the quality experiment's bin-distribution traces (Figure 1b). Call at
+// quiescence only, since a racing Resize changes M.
+func (c *MultiCounter) Snapshot(dst []uint64) {
+	if len(dst) != c.M() {
+		panic("core: Snapshot dst length mismatch")
+	}
+	c.shards.SnapshotRange(dst, 0)
+}
 
 // Handle binds a MultiCounter to one goroutine's private generator and, in
 // sticky/batched mode, the handle-local fast-path state: the sticky d-choice
@@ -244,6 +390,10 @@ type Handle struct {
 	id  uint64
 	r   *rng.Xoshiro256
 	smp Sampler
+
+	// Cached epoch word; syncEpoch re-seeds the sampler for the new live m
+	// on the first publish after a resize flip (one atomic load otherwise).
+	epochWord uint64
 
 	// Batching state: buffered operation count and summed weight.
 	bufOps    int
@@ -261,11 +411,25 @@ type Handle struct {
 // Distinct workers must use distinct seeds (or rng.Streams).
 func (c *MultiCounter) NewHandle(seed uint64) *Handle {
 	id := c.nextID.Add(1) - 1
+	w := c.epoch.Load()
+	_, m := pad.UnpackEpoch(w)
 	return &Handle{
-		c:   c,
-		id:  id,
-		r:   rng.NewXoshiro256(seed),
-		smp: NewAffineSampler(c.m, c.d, c.stick, c.affinity, id),
+		c:         c,
+		id:        id,
+		r:         rng.NewXoshiro256(seed),
+		epochWord: w,
+		smp:       NewAffineSampler(m, c.d, c.stick, c.affinity, id),
+	}
+}
+
+// syncEpoch folds a published resize into the handle: one atomic load
+// against the cached word, and on a flip the sampler re-seeds in place for
+// the new m (stripe re-placement included, no allocation).
+func (h *Handle) syncEpoch() {
+	if w := h.c.epoch.Load(); w != h.epochWord {
+		h.epochWord = w
+		_, m := pad.UnpackEpoch(w)
+		h.smp.Reseed(m)
 	}
 }
 
@@ -282,6 +446,7 @@ func (h *Handle) Add(delta uint64) {
 		panic("core: operation on closed Handle")
 	}
 	if h.c.batch <= 1 {
+		h.syncEpoch()
 		i := h.smp.Best(h.r, 1, h.c.shards.Read)
 		h.smp.Charge(1)
 		h.c.shards.Add(i, delta)
@@ -311,6 +476,7 @@ func (h *Handle) Flush() {
 	if h.bufOps == 0 {
 		return
 	}
+	h.syncEpoch()
 	i := h.smp.Best(h.r, h.bufOps, h.c.shards.Read)
 	h.smp.Charge(h.bufOps)
 	h.c.shards.Add(i, h.bufWeight)

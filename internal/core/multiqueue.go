@@ -1,12 +1,14 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/cpq"
 	"repro/internal/fail"
 	"repro/internal/heap"
+	"repro/internal/pad"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -24,10 +26,10 @@ import (
 // states: analysis guarantees apply while no insertion carries a higher
 // priority than an element already removed.
 type MultiQueue struct {
-	qs        []*cpq.Queue
+	qs        []*cpq.Queue // len Topology.MaxM; slots >= live m are sealed
 	clk       clock.Clock
 	blk       blockClock // non-nil when clk supports block reservation
-	m         int
+	topo      Topology
 	d         int
 	stick     int
 	batch     int
@@ -35,6 +37,40 @@ type MultiQueue struct {
 	backing   cpq.Backing
 	lockedTop bool
 	nextID    atomic.Uint64 // handle ids, assigned at NewHandle
+
+	// Elastic topology state (DESIGN.md §11). epoch publishes the pair
+	// (resize epoch, live m) in one padded atomic word — the only load a
+	// handle needs to notice a flip, and the linearization point of every
+	// resize. resizeMu serializes Resize/AutoScaleTick against each other
+	// (write side) and against the ref-based removal paths (read side);
+	// the enqueue/dequeue paths take neither side and tolerate a racing
+	// flip through sealed-queue refusals.
+	epoch    pad.EpochWord
+	resizeMu sync.RWMutex
+	resizes  atomic.Uint64
+	scal     scaler
+	// Controller baselines: the cumulative counters at the previous
+	// AutoScaleTick, so each tick prices only the interval's contention.
+	lastContended uint64
+	lastCrit      uint64
+
+	// Forwarding table for ElemRefs displaced by a shrink: value -> where
+	// the drain donated the element. Entries are recorded while the epoch
+	// flips (under resizeMu) and consumed by the first pop or forwarded
+	// Remove that touches the value, so the table only ever holds refs to
+	// resident donated elements. fwdCount gates every hot-path lookup on
+	// one atomic load — a structure that never shrank pays nothing else.
+	fwdMu    sync.Mutex
+	fwd      map[uint64]fwdRef
+	fwdCount atomic.Int64
+}
+
+// fwdRef records where a shrink donated one displaced element: the survivor
+// queue and the epoch of the donation (a Remove carrying an older ref epoch
+// must be redirected; one carrying the same or newer epoch must not).
+type fwdRef struct {
+	queue int
+	epoch uint32
 }
 
 // blockClock is the optional fast path a clock can offer batched enqueuers:
@@ -46,8 +82,16 @@ type blockClock interface {
 // MultiQueueConfig configures NewMultiQueue. The zero value of optional
 // fields selects defaults.
 type MultiQueueConfig struct {
-	// Queues is m, the number of internal priority queues. Required.
+	// Queues is m, the number of internal priority queues.
+	//
+	// Deprecated: set Topology.InitialM instead. Queues is kept as the
+	// legacy fixed-m form — when Topology is the zero value it behaves
+	// exactly as before (MinM = MaxM = Queues, no resizing).
 	Queues int
+	// Topology is the redesigned capacity surface: initial, minimum and
+	// maximum live shard counts plus the optional contention-driven
+	// AutoScale controller (DESIGN.md §11). A zero InitialM adopts Queues.
+	Topology Topology
 	// Backing selects the per-queue sequential structure (default binary
 	// heap; ablation A4 sweeps this).
 	Backing cpq.Backing
@@ -108,9 +152,7 @@ type MultiQueueConfig struct {
 
 // NewMultiQueue returns a MultiQueue with the given configuration.
 func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
-	if cfg.Queues <= 0 {
-		panic("core: MultiQueueConfig.Queues must be > 0")
-	}
+	topo := cfg.Topology.normalize(cfg.Queues, "MultiQueueConfig")
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 1024
 	}
@@ -134,9 +176,9 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	}
 	sm := rng.NewSplitMix64(cfg.Seed)
 	mq := &MultiQueue{
-		qs:        make([]*cpq.Queue, cfg.Queues),
+		qs:        make([]*cpq.Queue, topo.MaxM),
 		clk:       cfg.Clock,
-		m:         cfg.Queues,
+		topo:      topo,
 		d:         cfg.Choices,
 		stick:     cfg.Stickiness,
 		batch:     cfg.Batch,
@@ -150,6 +192,15 @@ func NewMultiQueue(cfg MultiQueueConfig) *MultiQueue {
 	for i := range mq.qs {
 		mq.qs[i] = cpq.New(cfg.Backing, cfg.Capacity, sm.Next())
 		mq.qs[i].SetLockedRead(cfg.LockedTopRead)
+		if i >= topo.InitialM {
+			// Parked tail slot: allocated so a grow never republishes the
+			// shard slice, sealed so nothing lands in it until then.
+			mq.qs[i].Seal()
+		}
+	}
+	mq.epoch.Init(0, topo.InitialM)
+	if topo.AutoScale != nil {
+		mq.scal = scaler{as: *topo.AutoScale}
 	}
 	return mq
 }
@@ -173,14 +224,29 @@ func (q *MultiQueue) Backing() cpq.Backing { return q.backing }
 // (ablation A5).
 func (q *MultiQueue) LockedTopRead() bool { return q.lockedTop }
 
-// M returns the number of internal queues.
-func (q *MultiQueue) M() int { return q.m }
+// M returns the live number of internal queues — one atomic load of the
+// epoch word, current as of that instant (a concurrent Resize may move it).
+func (q *MultiQueue) M() int {
+	_, m := pad.UnpackEpoch(q.epoch.Load())
+	return m
+}
+
+// Topology returns the normalized capacity surface the queue was built with.
+func (q *MultiQueue) Topology() Topology { return q.topo }
+
+// Epoch returns the resize epoch counter (0 until the first Resize).
+func (q *MultiQueue) Epoch() uint64 {
+	e, _ := pad.UnpackEpoch(q.epoch.Load())
+	return uint64(e)
+}
 
 // Len returns the total number of stored elements (exact at quiescence).
 // In batched mode, elements a handle still buffers (MQHandle.Buffered) are
 // not counted until that handle flushes, and prefetched elements
 // (MQHandle.Prefetched) are already excluded — flush all handles before a
-// Len/Sizes audit.
+// Len/Sizes audit. The scan covers the full MaxM array, so elements mid-way
+// through a shrink's drain-and-donate hop are never double- or un-counted at
+// quiescence.
 func (q *MultiQueue) Len() int {
 	n := 0
 	for _, pq := range q.qs {
@@ -208,9 +274,18 @@ type MQStats struct {
 	// structure currently carries.
 	Invalidations uint64
 	Reclaimed     uint64
+	// CurrentM is the live shard count at snapshot time, Epoch the resize
+	// epoch counter, and Resizes the number of completed resize epochs —
+	// the elasticity signals dlzd's /metrics and benchall's elastic axis
+	// export.
+	CurrentM int
+	Epoch    uint64
+	Resizes  uint64
 }
 
 // Stats sums the internal queues' event counters without taking any locks.
+// Counters cover the full MaxM array, so work done in shards a shrink later
+// retired stays visible.
 func (q *MultiQueue) Stats() MQStats {
 	var s MQStats
 	for _, pq := range q.qs {
@@ -221,19 +296,190 @@ func (q *MultiQueue) Stats() MQStats {
 		s.Invalidations += qs.Invalidations
 		s.Reclaimed += qs.Reclaimed
 	}
+	e, m := pad.UnpackEpoch(q.epoch.Load())
+	s.CurrentM = m
+	s.Epoch = uint64(e)
+	s.Resizes = q.resizes.Load()
 	return s
 }
 
 // Sizes copies the per-queue element counts into dst (len must equal M) —
 // the queue counterpart of MultiCounter.Snapshot, used to observe how evenly
-// the random-insert rule spreads elements. Exact at quiescence.
+// the random-insert rule spreads elements. Exact at quiescence; call at
+// quiescence only, since a racing Resize changes M.
 func (q *MultiQueue) Sizes(dst []int) {
-	if len(dst) != q.m {
+	if len(dst) != q.M() {
 		panic("core: Sizes dst length mismatch")
 	}
-	for i, pq := range q.qs {
-		dst[i] = pq.Len()
+	for i := range dst {
+		dst[i] = q.qs[i].Len()
 	}
+}
+
+// Resize moves the live shard count to m (clamped to [MinM, MaxM]) and
+// returns the count actually in effect. Growing unseals parked tail slots
+// and then publishes the new epoch word — handles re-seed their samplers on
+// the first operation that observes the flip. Shrinking publishes the new
+// (smaller) word first — the linearization point, after which no current
+// handle targets a victim — then seals and drains each victim shard
+// [m, old m) through the zero-alloc bulk path and donates the drained
+// elements round-robin to the survivors, recording a forwarding entry per
+// element so outstanding ElemRefs (mempool Remove/Replace) survive the hop.
+// Concurrent enqueues that lose the race to a sealing victim are refused by
+// the seal and retried by the handle against the new topology; concurrent
+// dequeues at worst observe a victim as empty, which relaxed semantics
+// already tolerate. Element conservation is exact: every element admitted
+// before the resize is in a survivor (or a caller's prefetch buffer)
+// afterwards.
+func (q *MultiQueue) Resize(m int) int {
+	q.resizeMu.Lock()
+	defer q.resizeMu.Unlock()
+	return q.resizeLocked(m)
+}
+
+func (q *MultiQueue) resizeLocked(m int) int {
+	m = q.topo.clamp(m)
+	epoch, cur := pad.UnpackEpoch(q.epoch.Load())
+	if m == cur {
+		return cur
+	}
+	if m > cur {
+		// Grow: open the new slots before any handle can target them.
+		for i := cur; i < m; i++ {
+			q.qs[i].Unseal()
+		}
+		q.epoch.Store(epoch+1, m)
+		q.resizes.Add(1)
+		return m
+	}
+	// Shrink. Publish first so new operations route within [0, m); then
+	// retire the victims. SealAndDrain atomically seals each victim and
+	// empties it under one lock hold, so an insert that raced the publish
+	// either landed before the drain (and is donated) or is refused.
+	q.epoch.Store(epoch+1, m)
+	q.resizes.Add(1)
+	newEpoch := epoch + 1
+	var drained []heap.Item
+	for v := m; v < cur; v++ {
+		drained = q.qs[v].SealAndDrain(drained)
+	}
+	if fail.Enabled {
+		// Between drain and donation: the displaced elements exist only in
+		// this frame. A delay here widens the not-yet-donated window for the
+		// chaos suite; panics are not armed at this site (they would lose
+		// the frame).
+		_ = fail.Inject(fail.SiteCoreResizeDrain)
+	}
+	if len(drained) > 0 {
+		q.donateLocked(drained, m, newEpoch)
+	}
+	return m
+}
+
+// donateLocked hands a shrink's drained elements to the survivors in
+// round-robin chunks, recording a forwarding entry per element before its
+// chunk publishes, so any pop or forwarded Remove that can see the element
+// also sees its entry. Caller holds resizeMu (write).
+func (q *MultiQueue) donateLocked(drained []heap.Item, m int, newEpoch uint32) {
+	q.fwdMu.Lock()
+	defer q.fwdMu.Unlock()
+	if q.fwd == nil {
+		q.fwd = make(map[uint64]fwdRef, len(drained))
+	}
+	chunk := q.batch
+	if chunk < 16 {
+		chunk = 16
+	}
+	target := 0
+	for off := 0; off < len(drained); off += chunk {
+		end := off + chunk
+		if end > len(drained) {
+			end = len(drained)
+		}
+		part := drained[off:end]
+		added := 0
+		for _, it := range part {
+			if _, dup := q.fwd[it.Value]; !dup {
+				added++
+			}
+			// Overwrite on re-donation: a second shrink moving an element
+			// again must point the ref at its newest home.
+			q.fwd[it.Value] = fwdRef{queue: target, epoch: newEpoch}
+		}
+		// Count before publishing the chunk: a pop that sees an element
+		// must see a non-zero gate, or its entry would linger.
+		q.fwdCount.Add(int64(added))
+		q.qs[target].AddBatch(part) // survivors are never sealed here
+		target = (target + 1) % m
+	}
+}
+
+// AutoScaleTick advances the contention-driven controller one tick: it
+// prices the interval since the previous tick as
+// ΔLockContended / Δ(Elisions+Publications) — the fraction of critical
+// sections whose lock acquisition entered the spin-backoff slow path — and
+// applies the AutoScale policy (double at GrowThreshold, halve at
+// ShrinkThreshold, after the dwell). Returns the live shard count and
+// whether this tick resized. A queue built without Topology.AutoScale
+// never moves. Call from one goroutine (dlzd's janitor, a benchmark's
+// pacer); the tick itself is cheap — a lock-free Stats scan.
+func (q *MultiQueue) AutoScaleTick() (m int, resized bool) {
+	q.resizeMu.Lock()
+	defer q.resizeMu.Unlock()
+	_, cur := pad.UnpackEpoch(q.epoch.Load())
+	if q.topo.AutoScale == nil {
+		return cur, false
+	}
+	st := q.Stats()
+	crit := st.Elisions + st.Publications
+	dCrit := crit - q.lastCrit
+	dCont := st.LockContended - q.lastContended
+	q.lastCrit, q.lastContended = crit, st.LockContended
+	var pressure float64
+	if dCrit > 0 {
+		pressure = float64(dCont) / float64(dCrit)
+	} else if dCont > 0 {
+		// Waiters escalated but no critical section completed: saturated.
+		pressure = 1
+	}
+	next := q.scal.decide(q.topo, cur, pressure)
+	if next == cur {
+		return cur, false
+	}
+	return q.resizeLocked(next), true
+}
+
+// consumeFwd1 retires the forwarding entry for one popped value, if any.
+// The fwdCount gate keeps the no-shrink hot path at a single atomic load.
+func (q *MultiQueue) consumeFwd1(value uint64) {
+	if q.fwdCount.Load() == 0 {
+		return
+	}
+	q.fwdMu.Lock()
+	if _, ok := q.fwd[value]; ok {
+		delete(q.fwd, value)
+		q.fwdCount.Add(-1)
+	}
+	q.fwdMu.Unlock()
+}
+
+// consumeFwd retires forwarding entries for a popped run.
+func (q *MultiQueue) consumeFwd(items []heap.Item) {
+	if len(items) == 0 || q.fwdCount.Load() == 0 {
+		return
+	}
+	q.fwdMu.Lock()
+	n := 0
+	for _, it := range items {
+		if _, ok := q.fwd[it.Value]; ok {
+			delete(q.fwd, it.Value)
+			n++
+		}
+	}
+	if n > 0 {
+		q.fwdCount.Add(int64(-n))
+	}
+	q.fwdMu.Unlock()
 }
 
 // MQHandle binds a MultiQueue to one goroutine's private generator and, in
@@ -245,6 +491,14 @@ type MQHandle struct {
 	q  *MultiQueue
 	id uint64
 	r  *rng.Xoshiro256
+
+	// Cached copy of the queue's epoch word and the live m it encodes.
+	// syncEpoch compares one atomic load against epochWord at operation
+	// entry; on a mismatch the handle re-seeds both samplers for the new m
+	// (stripe re-placement included) before proceeding. Steady state this
+	// is one load and one predictable branch.
+	epochWord uint64
+	m         int
 
 	// Sticky sampling state: one uniform choice for inserts (Algorithm 2's
 	// enqueue), d choices for removals.
@@ -286,12 +540,16 @@ type MQHandle struct {
 // uniformly, and the insert-side balance is what the analysis leans on.
 func (q *MultiQueue) NewHandle(seed uint64) *MQHandle {
 	id := q.nextID.Add(1) - 1
+	w := q.epoch.Load()
+	_, m := pad.UnpackEpoch(w)
 	h := &MQHandle{
-		q:   q,
-		id:  id,
-		r:   rng.NewXoshiro256(seed),
-		enq: NewSampler(q.m, 1, q.stick),
-		deq: NewAffineSampler(q.m, q.d, q.stick, q.affinity, id),
+		q:         q,
+		id:        id,
+		r:         rng.NewXoshiro256(seed),
+		epochWord: w,
+		m:         m,
+		enq:       NewSampler(m, 1, q.stick),
+		deq:       NewAffineSampler(m, q.d, q.stick, q.affinity, id),
 	}
 	if q.batch > 1 {
 		backing := make([]heap.Item, 3*q.batch)
@@ -339,7 +597,7 @@ func (h *MQHandle) Close() {
 		// Return the prefetch remainder through the same uniform sticky
 		// insert rule as an enqueue batch: these elements are logically
 		// still queued, they were only staged for this handle's consumption.
-		h.q.qs[h.enqTarget(len(rest))].AddBatch(rest)
+		h.addBatchRetrying(rest)
 	}
 	h.outBuf, h.outPos = h.outBuf[:0], 0
 	h.closed = true
@@ -351,6 +609,68 @@ func (h *MQHandle) checkOpen() {
 	if h.closed {
 		panic("core: operation on closed MQHandle")
 	}
+}
+
+// syncEpoch folds a published resize into the handle: one atomic load
+// against the cached word, and on a flip both samplers re-seed in place for
+// the new m (golden-ratio stripe re-placement, no allocation).
+func (h *MQHandle) syncEpoch() {
+	if w := h.q.epoch.Load(); w != h.epochWord {
+		h.reseed(w)
+	}
+}
+
+func (h *MQHandle) reseed(w uint64) {
+	h.epochWord = w
+	_, m := pad.UnpackEpoch(w)
+	h.m = m
+	h.enq.Reseed(m)
+	h.deq.Reseed(m)
+}
+
+// sealedRetryLimit bounds insert retries against sealing shards before the
+// deterministic fallback to queue 0 (never sealed: MinM >= 1 and shrink
+// victims are always the top of the range). Each refusal implies a resize
+// published since the handle's last sync — Go atomics are sequentially
+// consistent and the seal writes behind the victim's lock after the epoch
+// store — so in practice one re-sync resolves it; the bound only matters
+// under a pathological resize storm.
+const sealedRetryLimit = 8
+
+// refusedSealed re-syncs the handle after a sealed-shard refusal, or
+// re-rolls the insert choice if the epoch word has not moved yet.
+func (h *MQHandle) refusedSealed() {
+	if w := h.q.epoch.Load(); w != h.epochWord {
+		h.reseed(w)
+		return
+	}
+	h.enq.Reroll()
+}
+
+// addRetrying inserts one element through the sticky uniform rule, retrying
+// past sealed-shard refusals; returns the queue the element landed in.
+func (h *MQHandle) addRetrying(priority, value uint64) int {
+	for attempt := 0; attempt < sealedRetryLimit; attempt++ {
+		i := h.enqTarget(1)
+		if h.q.qs[i].Add(priority, value) {
+			return i
+		}
+		h.refusedSealed()
+	}
+	h.q.qs[0].Add(priority, value)
+	return 0
+}
+
+// addBatchRetrying publishes one insert batch, retrying past sealed-shard
+// refusals with the same fallback.
+func (h *MQHandle) addBatchRetrying(items []heap.Item) {
+	for attempt := 0; attempt < sealedRetryLimit; attempt++ {
+		if h.q.qs[h.enqTarget(len(items))].AddBatch(items) {
+			return
+		}
+		h.refusedSealed()
+	}
+	h.q.qs[0].AddBatch(items)
 }
 
 // Prefetched returns the number of already-dequeued elements this handle
@@ -372,7 +692,8 @@ func (h *MQHandle) Flush() {
 		// refusal path.
 		_ = fail.Inject(fail.SiteCoreFlush)
 	}
-	h.q.qs[h.enqTarget(len(h.inBuf))].AddBatch(h.inBuf)
+	h.syncEpoch()
+	h.addBatchRetrying(h.inBuf)
 	h.inBuf = h.inBuf[:0]
 }
 
@@ -418,7 +739,8 @@ func (h *MQHandle) deqReroll() { h.deq.Reroll() }
 // in per-op mode, or buffer-and-flush in batched mode.
 func (h *MQHandle) insert(priority, value uint64) {
 	if h.q.batch <= 1 {
-		h.q.qs[h.enqTarget(1)].Add(priority, value)
+		h.syncEpoch()
+		h.addRetrying(priority, value)
 		return
 	}
 	h.inBuf = append(h.inBuf, heap.Item{Priority: priority, Value: value})
@@ -465,17 +787,25 @@ func (h *MQHandle) EnqueuePriority(priority, value uint64) {
 }
 
 // ElemRef locates one resident element for later Remove/Replace: the
-// internal queue it was inserted into plus the exact (priority, value) pair.
-// A ref is issued by EnqueuePriorityRef and stays valid until the element
-// leaves the structure — by being dequeued, removed, or returned to a
-// different queue by MQHandle.Close's prefetch give-back. Callers that need
-// removal must therefore track element residency themselves (a map keyed by
-// value, maintained at every dequeue, is the usual shape — see
-// internal/mempool); handing a stale ref to Remove corrupts the structure's
-// length accounting permanently, exactly as cpq.Queue.Invalidate documents.
+// internal queue it was inserted into, the resize epoch it was issued under,
+// and the exact (priority, value) pair. A ref is issued by
+// EnqueuePriorityRef and stays valid until the element leaves the structure
+// — by being dequeued, removed, or returned to a different queue by
+// MQHandle.Close's prefetch give-back. A shrink epoch that retires the ref's
+// queue does NOT invalidate the ref: the drain donates the element to a
+// survivor and records a forwarding entry, and Remove/Replace follow it.
+// Callers that need removal must still track element residency themselves
+// (a map keyed by value, maintained at every dequeue, is the usual shape —
+// see internal/mempool); handing a stale ref to Remove corrupts the
+// structure's length accounting permanently, exactly as cpq.Queue.Invalidate
+// documents.
 type ElemRef struct {
-	// Queue is the internal queue index the element resides in.
+	// Queue is the internal queue index the element resided in when the ref
+	// was issued.
 	Queue int
+	// Epoch is the resize epoch the ref was issued under; Remove uses it to
+	// decide whether the forwarding table must be consulted.
+	Epoch uint32
 	// Priority and Value identify the element within that queue. Value must
 	// be unique among the structure's live and tombstoned elements.
 	Priority uint64
@@ -491,9 +821,10 @@ type ElemRef struct {
 // Workloads that never remove should prefer EnqueuePriority.
 func (h *MQHandle) EnqueuePriorityRef(priority, value uint64) ElemRef {
 	h.checkOpen()
-	i := h.enqTarget(1)
-	h.q.qs[i].Add(priority, value)
-	return ElemRef{Queue: i, Priority: priority, Value: value}
+	h.syncEpoch()
+	i := h.addRetrying(priority, value)
+	epoch, _ := pad.UnpackEpoch(h.epochWord)
+	return ElemRef{Queue: i, Epoch: epoch, Priority: priority, Value: value}
 }
 
 // Remove marks the referenced element dead in its queue (lazy tombstone,
@@ -502,9 +833,47 @@ func (h *MQHandle) EnqueuePriorityRef(priority, value uint64) ElemRef {
 // element was already tombstoned. The caller must guarantee the ref is
 // current (see ElemRef); in particular an element sitting in a handle's
 // prefetch buffer is no longer resident — check DropPrefetched first.
+//
+// Removal takes the resize lock's read side, freezing the topology for the
+// duration: a ref issued under the current epoch invalidates directly (its
+// queue cannot seal mid-operation), and a ref from an older epoch follows
+// the forwarding table to the survivor a shrink donated its element to.
 func (h *MQHandle) Remove(ref ElemRef) bool {
 	h.checkOpen()
-	return h.q.qs[ref.Queue].Invalidate(ref.Priority, ref.Value)
+	q := h.q
+	q.resizeMu.RLock()
+	ok := q.removeRLocked(ref)
+	q.resizeMu.RUnlock()
+	return ok
+}
+
+// removeRLocked performs one ref-directed invalidation; caller holds
+// resizeMu (read), so live m, seal states and the forwarding table are
+// stable underneath it.
+func (q *MultiQueue) removeRLocked(ref ElemRef) bool {
+	epoch, m := pad.UnpackEpoch(q.epoch.Load())
+	if ref.Epoch == epoch {
+		return q.qs[ref.Queue].Invalidate(ref.Priority, ref.Value)
+	}
+	// Stale epoch: a shrink may have moved the element. The forwarding
+	// entry, if present and newer than the ref, names its current home and
+	// is retired here (the tombstone now tracks it in place).
+	if q.fwdCount.Load() != 0 {
+		q.fwdMu.Lock()
+		if e, ok := q.fwd[ref.Value]; ok && e.epoch > ref.Epoch {
+			delete(q.fwd, ref.Value)
+			q.fwdCount.Add(-1)
+			q.fwdMu.Unlock()
+			return q.qs[e.queue].Invalidate(ref.Priority, ref.Value)
+		}
+		q.fwdMu.Unlock()
+	}
+	// No forwarding entry: the element never moved (grow-only epochs, or a
+	// shrink that didn't touch its queue). Its home must still be live.
+	if ref.Queue < m {
+		return q.qs[ref.Queue].Invalidate(ref.Priority, ref.Value)
+	}
+	return false
 }
 
 // RemoveBatch removes a set of referenced elements, amortizing locks the way
@@ -520,38 +889,47 @@ func (h *MQHandle) RemoveBatch(refs []ElemRef) int {
 	if len(h.rmBuf) != 0 {
 		panic("core: RemoveBatch re-entered") // rmBuf is always left empty
 	}
+	q := h.q
+	q.resizeMu.RLock()
+	defer q.resizeMu.RUnlock()
 	armed := 0
 	if cap(h.rmBuf) == 0 {
 		for _, ref := range refs {
-			if h.q.qs[ref.Queue].Invalidate(ref.Priority, ref.Value) {
+			if q.removeRLocked(ref) {
 				armed++
 			}
 		}
 		return armed
 	}
+	curEpoch, _ := pad.UnpackEpoch(q.epoch.Load())
 	for i := 1; i < len(refs); i++ {
 		for j := i; j > 0 && refs[j-1].Queue > refs[j].Queue; j-- {
 			refs[j-1], refs[j] = refs[j], refs[j-1]
 		}
 	}
-	flush := func(queue int) {
+	bufQueue := -1
+	flush := func() {
 		if len(h.rmBuf) > 0 {
-			armed += h.q.qs[queue].InvalidateBatch(h.rmBuf)
+			armed += q.qs[bufQueue].InvalidateBatch(h.rmBuf)
 			h.rmBuf = h.rmBuf[:0]
 		}
 	}
-	for i, ref := range refs {
-		if i > 0 && refs[i-1].Queue != ref.Queue {
-			flush(refs[i-1].Queue)
+	for _, ref := range refs {
+		if ref.Epoch != curEpoch {
+			// Stale ref: may need forwarding — take the per-ref path and
+			// leave the staged run for its own queue intact.
+			if q.removeRLocked(ref) {
+				armed++
+			}
+			continue
 		}
-		if len(h.rmBuf) == cap(h.rmBuf) {
-			flush(ref.Queue)
+		if len(h.rmBuf) > 0 && (bufQueue != ref.Queue || len(h.rmBuf) == cap(h.rmBuf)) {
+			flush()
 		}
+		bufQueue = ref.Queue
 		h.rmBuf = append(h.rmBuf, heap.Item{Priority: ref.Priority, Value: ref.Value})
 	}
-	if len(refs) > 0 {
-		flush(refs[len(refs)-1].Queue)
-	}
+	flush()
 	return armed
 }
 
@@ -615,7 +993,8 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 		h.outPos++
 		return it, true
 	}
-	for attempt := 0; attempt < 2*h.q.m; attempt++ {
+	h.syncEpoch()
+	for attempt := 0; attempt < 2*h.m; attempt++ {
 		i, key := h.deqBest()
 		if fail.Enabled && fail.Inject(fail.SiteCoreReroll) != nil {
 			// Injected reroll storm: discard the draw as if its queue were
@@ -634,7 +1013,8 @@ func (h *MQHandle) Dequeue() (it heap.Item, ok bool) {
 	// pending inserts are flushed first: they are logically enqueued and a
 	// drain must observe them.
 	h.Flush()
-	for i := 0; i < h.q.m; i++ {
+	h.syncEpoch()
+	for i := 0; i < h.m; i++ {
 		if h.q.qs[i].ReadTop().StableEmpty() {
 			continue
 		}
@@ -653,6 +1033,7 @@ func (h *MQHandle) deleteFrom(i int) (heap.Item, bool) {
 		it, ok := h.q.qs[i].DeleteMin()
 		if ok {
 			h.deqCharge(1)
+			h.q.consumeFwd1(it.Value)
 		}
 		return it, ok
 	}
@@ -662,6 +1043,7 @@ func (h *MQHandle) deleteFrom(i int) (heap.Item, bool) {
 		return heap.Item{}, false
 	}
 	h.deqCharge(len(h.outBuf))
+	h.q.consumeFwd(h.outBuf)
 	h.outPos = 1
 	return h.outBuf[0], true
 }
@@ -682,11 +1064,12 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 		h.outPos++
 		return it, true
 	}
-	for attempt := 0; attempt < 2*h.q.m; attempt++ {
-		best := h.r.Intn(h.q.m)
+	h.syncEpoch()
+	for attempt := 0; attempt < 2*h.m; attempt++ {
+		best := h.r.Intn(h.m)
 		bestTop := h.q.qs[best].ReadTop().Key()
 		for k := 1; k < d; k++ {
-			j := h.r.Intn(h.q.m)
+			j := h.r.Intn(h.m)
 			if top := h.q.qs[j].ReadTop().Key(); top < bestTop {
 				best, bestTop = j, top
 			}
@@ -698,15 +1081,18 @@ func (h *MQHandle) DequeueD(d int) (it heap.Item, ok bool) {
 			continue
 		}
 		if it, ok = h.q.qs[best].DeleteMin(); ok {
+			h.q.consumeFwd1(it.Value)
 			return it, true
 		}
 	}
 	h.Flush()
-	for i := 0; i < h.q.m; i++ {
+	h.syncEpoch()
+	for i := 0; i < h.m; i++ {
 		if h.q.qs[i].ReadTop().StableEmpty() {
 			continue
 		}
 		if it, ok = h.q.qs[i].DeleteMin(); ok {
+			h.q.consumeFwd1(it.Value)
 			return it, true
 		}
 	}
@@ -733,6 +1119,7 @@ func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 		h.outPos++
 		return it, true
 	}
+	h.syncEpoch()
 	for pass := 0; pass < 2; pass++ {
 		for a := 0; a < attempts; a++ {
 			i, key := h.deqBest()
@@ -747,12 +1134,14 @@ func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 			if h.q.batch <= 1 {
 				if it, okPop, acquired := h.q.qs[i].TryDeleteMin(); acquired && okPop {
 					h.deqCharge(1)
+					h.q.consumeFwd1(it.Value)
 					return it, true
 				}
 			} else if out, acquired := h.q.qs[i].TryDeleteMinUpTo(h.q.batch, h.outBuf[:0]); acquired && len(out) > 0 {
 				h.outBuf = out
 				h.outPos = 1
 				h.deqCharge(len(out))
+				h.q.consumeFwd(out)
 				return out[0], true
 			}
 			// Contended or empty: abandon the sticky pair for a fresh draw.
@@ -772,8 +1161,9 @@ func (h *MQHandle) TryDequeue(attempts int) (it heap.Item, ok bool) {
 // attempts random queues are offered the batch with TryAddBatch. Reports
 // whether the buffer was published.
 func (h *MQHandle) tryFlush(attempts int) bool {
+	h.syncEpoch()
 	for a := 0; a < attempts; a++ {
-		if h.q.qs[h.r.Intn(h.q.m)].TryAddBatch(h.inBuf) {
+		if h.q.qs[h.r.Intn(h.m)].TryAddBatch(h.inBuf) {
 			h.inBuf = h.inBuf[:0]
 			return true
 		}

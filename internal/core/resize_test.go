@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cpq"
+	"repro/internal/rng"
+)
+
+// elasticTopo is the test topology: start mid-range so both directions are
+// reachable.
+func elasticTopo(initial, min, max int) Topology {
+	return Topology{InitialM: initial, MinM: min, MaxM: max}
+}
+
+// TestResizeClampAndEpochBookkeeping pins the epoch-word accounting: each
+// effective Resize bumps Epoch and Resizes by one, requests outside
+// [MinM, MaxM] clamp, a no-op request (already at the target) moves nothing,
+// and a fixed topology (MinM == MaxM) never moves at all.
+func TestResizeClampAndEpochBookkeeping(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Topology: elasticTopo(4, 2, 16), Seed: 1})
+	if q.M() != 4 || q.Epoch() != 0 {
+		t.Fatalf("fresh queue: M=%d Epoch=%d, want 4, 0", q.M(), q.Epoch())
+	}
+	if got := q.Resize(16); got != 16 {
+		t.Fatalf("Resize(16) = %d", got)
+	}
+	if got := q.Resize(64); got != 16 {
+		t.Fatalf("Resize(64) = %d, want clamp to MaxM 16", got)
+	}
+	if got := q.Resize(1); got != 2 {
+		t.Fatalf("Resize(1) = %d, want clamp to MinM 2", got)
+	}
+	if got := q.Resize(2); got != 2 {
+		t.Fatalf("no-op Resize(2) = %d", got)
+	}
+	// Three effective moves: 4→16, 16→16 (clamped no-op after the first
+	// clamp already sat at 16 — not counted), 16→2. The clamped Resize(64)
+	// lands on the current m and must not burn an epoch.
+	st := q.Stats()
+	if st.Resizes != 2 || st.Epoch != 2 || st.CurrentM != 2 {
+		t.Fatalf("Stats = %+v, want Resizes 2, Epoch 2, CurrentM 2", st)
+	}
+	if topo := q.Topology(); topo.MinM != 2 || topo.MaxM != 16 || topo.InitialM != 4 {
+		t.Fatalf("Topology = %+v mutated by Resize", topo)
+	}
+
+	fixed := NewMultiQueue(MultiQueueConfig{Queues: 8, Seed: 2})
+	if got := fixed.Resize(32); got != 8 {
+		t.Fatalf("fixed-m Resize(32) = %d, want pinned 8", got)
+	}
+	if fixed.Epoch() != 0 {
+		t.Fatalf("fixed-m queue burned an epoch: %d", fixed.Epoch())
+	}
+}
+
+// TestResizeConservationQuiescent is the conservation property the ISSUE
+// demands, quiescent half: for every backing, elements enqueued across a
+// grow → shrink → shrink-to-MinM staircase are all drained afterwards —
+// no loss, no duplication — including elements admitted while the live m
+// differed from both the initial and final counts.
+func TestResizeConservationQuiescent(t *testing.T) {
+	for _, b := range cpq.Backings() {
+		for _, g := range stickyBatchGrid {
+			t.Run(fmt.Sprintf("%v/s%d/k%d/a%v", b, g.stick, g.batch, g.affinity), func(t *testing.T) {
+				const handles, per = 3, 500
+				q := NewMultiQueue(MultiQueueConfig{
+					Topology: elasticTopo(4, 1, 32), Backing: b, Seed: 99,
+					Stickiness: g.stick, Batch: g.batch, Affinity: g.affinity,
+				})
+				hs := make([]*MQHandle, handles)
+				for i := range hs {
+					hs[i] = q.NewHandle(uint64(i) + 1)
+				}
+				want := make(map[uint64]int, 4*handles*per)
+				phase := 0
+				fill := func() {
+					for i, h := range hs {
+						for j := 0; j < per; j++ {
+							v := uint64(phase<<20 | i<<16 | j)
+							h.Enqueue(v)
+							want[v]++
+						}
+					}
+					phase++
+				}
+				fill()       // at m=4
+				q.Resize(32) // grow: unseal parked tail
+				fill()       // at m=32, lands in unsealed shards too
+				q.Resize(3)  // deep shrink: 29 victims drain-and-donate
+				fill()       // at m=3
+				q.Resize(1)  // to MinM: everything funnels into qs[0]
+				fill()       // at m=1
+				for _, h := range hs {
+					h.Flush()
+				}
+				if got, wantN := q.Len(), len(want); got != wantN {
+					t.Fatalf("Len = %d after staircase, want %d", got, wantN)
+				}
+				drainer := q.NewHandle(77)
+				got := make(map[uint64]int, len(want))
+				for {
+					it, ok := drainer.Dequeue()
+					if !ok {
+						break
+					}
+					got[it.Value]++
+				}
+				for v, n := range want {
+					if got[v] != n {
+						t.Fatalf("value %#x drained %d times, want %d", v, got[v], n)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("drained %d distinct values, want %d", len(got), len(want))
+				}
+				// Every forwarding entry must have been retired by the pops
+				// that consumed the donated elements.
+				if q.fwdCount.Load() != 0 {
+					t.Fatalf("fwdCount = %d after full drain, want 0", q.fwdCount.Load())
+				}
+			})
+		}
+	}
+}
+
+// TestResizeConcurrentConservation is the racing half: workers enqueue and
+// dequeue nonstop while the main goroutine staircases the live shard count
+// between MinM and MaxM. At quiescence every admitted element is either
+// dequeued or still resident — exact conservation under -race across the
+// epoch flips, seal refusals and drain-and-donate hops.
+func TestResizeConcurrentConservation(t *testing.T) {
+	for _, b := range []cpq.Backing{cpq.BackingBinary, cpq.BackingSkiplist} {
+		t.Run(fmt.Sprintf("%v", b), func(t *testing.T) {
+			const workers, per = 4, 2000
+			q := NewMultiQueue(MultiQueueConfig{
+				Topology: elasticTopo(8, 1, 64), Backing: b, Seed: 5,
+				Stickiness: 4, Batch: 4,
+			})
+			var enq, deq atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(id int) {
+					defer wg.Done()
+					h := q.NewHandle(uint64(id) + 1)
+					defer h.Close() // flushes the insert buffer, returns prefetches
+					for j := 0; j < per; j++ {
+						h.Enqueue(uint64(id)<<32 | uint64(j))
+						enq.Add(1)
+						if j%3 == 0 {
+							if _, ok := h.TryDequeue(4); ok {
+								deq.Add(1)
+							}
+						}
+					}
+				}(w)
+			}
+			for i := 0; i < 40; i++ {
+				q.Resize([]int{64, 1, 16, 2, 32, 8}[i%6])
+			}
+			wg.Wait()
+			q.Resize(1) // final funnel exercises one more full drain
+			if got, want := int64(q.Len()), enq.Load()-deq.Load(); got != want {
+				t.Fatalf("Len = %d at quiescence, want enq-deq = %d", got, want)
+			}
+			drainer := q.NewHandle(999)
+			n := int64(0)
+			for {
+				if _, ok := drainer.Dequeue(); !ok {
+					break
+				}
+				n++
+			}
+			if n != enq.Load()-deq.Load() {
+				t.Fatalf("drained %d, want %d", n, enq.Load()-deq.Load())
+			}
+		})
+	}
+}
+
+// TestResizeForwardsElemRefs checks the forwarding table end to end: refs
+// issued before a deep shrink stay removable afterwards (the shrink moved
+// their elements to survivors), a double hop (two consecutive shrinks)
+// re-points the entry, and after the tombstones are physically reclaimed by
+// a full drain Invalidations == Reclaimed — no tombstone leaks across epochs.
+func TestResizeForwardsElemRefs(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Topology: elasticTopo(16, 1, 16), Seed: 11})
+	h := q.NewHandle(1)
+	const n = 256
+	refs := make([]ElemRef, 0, n)
+	for i := 0; i < n; i++ {
+		refs = append(refs, h.EnqueuePriorityRef(uint64(i), uint64(1000+i)))
+	}
+	q.Resize(4) // first hop: 12 victims donate
+	q.Resize(1) // second hop: donated elements move again; entries re-point
+	for i, ref := range refs {
+		if i%2 == 0 {
+			continue // leave half for the drain
+		}
+		if !h.Remove(ref) {
+			t.Fatalf("Remove(refs[%d]) failed after two shrink hops", i)
+		}
+	}
+	if got, want := q.Len(), n/2; got != want {
+		t.Fatalf("Len = %d after removing half, want %d", got, want)
+	}
+	got := 0
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		got++
+	}
+	if got != n/2 {
+		t.Fatalf("drained %d live elements, want %d", got, n/2)
+	}
+	st := q.Stats()
+	if st.Invalidations != st.Reclaimed {
+		t.Fatalf("Invalidations=%d Reclaimed=%d after full drain — tombstones leaked across resize epochs",
+			st.Invalidations, st.Reclaimed)
+	}
+	if st.Invalidations != n/2 {
+		t.Fatalf("Invalidations = %d, want %d", st.Invalidations, n/2)
+	}
+	if q.fwdCount.Load() != 0 {
+		t.Fatalf("fwdCount = %d after drain, want 0", q.fwdCount.Load())
+	}
+}
+
+// TestResizeStaleHandleReroutes pins the handle half of the epoch protocol:
+// a handle whose cached epoch word predates a shrink must re-seed on its
+// next operation and route every subsequent insert into the live range —
+// no element may land in a sealed victim.
+func TestResizeStaleHandleReroutes(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{Topology: elasticTopo(8, 2, 8), Seed: 3, Affinity: 0.5})
+	h := q.NewHandle(1)
+	h.Enqueue(0) // handle now carries the epoch word for m=8
+	if h.m != 8 {
+		t.Fatalf("handle cached m = %d, want 8", h.m)
+	}
+	q.Resize(2)
+	for i := uint64(1); i <= 64; i++ {
+		h.Enqueue(i) // first call must observe the flip via syncEpoch
+	}
+	h.Flush()
+	if h.m != 2 {
+		t.Fatalf("handle cached m = %d after shrink, want 2", h.m)
+	}
+	live := q.qs[0].Len() + q.qs[1].Len()
+	if live != q.Len() || live != 65 {
+		t.Fatalf("live shards hold %d of Len %d (want all 65) — an insert landed in a sealed victim",
+			live, q.Len())
+	}
+
+	// Grow back: the stale handle must widen its sampler to reach the
+	// unsealed tail again.
+	q.Resize(8)
+	h.Enqueue(100)
+	if h.m != 8 {
+		t.Fatalf("handle cached m = %d after grow, want 8", h.m)
+	}
+}
+
+// TestScalerDecide drives the pure controller function through dwell gating,
+// doubling/halving, clamping and the disabled-shrink mode — the seeded unit
+// behind both structures' AutoScaleTick.
+func TestScalerDecide(t *testing.T) {
+	topo := elasticTopo(4, 2, 16)
+	as := AutoScale{GrowThreshold: 0.5, ShrinkThreshold: 0.05, Dwell: 2}
+
+	t.Run("dwell gates and resets", func(t *testing.T) {
+		s := scaler{as: as}
+		if got := s.decide(topo, 4, 1.0); got != 4 {
+			t.Fatalf("tick 1 stepped to %d before dwell elapsed", got)
+		}
+		if got := s.decide(topo, 4, 1.0); got != 4 {
+			t.Fatalf("tick 2 stepped to %d before dwell elapsed", got)
+		}
+		if got := s.decide(topo, 4, 1.0); got != 8 {
+			t.Fatalf("tick 3 = %d, want grow to 8", got)
+		}
+		// The step reset the clock: the next high-pressure tick must wait
+		// out the dwell again.
+		if got := s.decide(topo, 8, 1.0); got != 8 {
+			t.Fatalf("tick after step moved to %d, dwell did not reset", got)
+		}
+	})
+
+	t.Run("grow doubles and clamps", func(t *testing.T) {
+		s := scaler{as: AutoScale{GrowThreshold: 0.5, ShrinkThreshold: 0.05, Dwell: 0}}
+		// Dwell 0 still requires sinceStep > 0, which the first tick satisfies.
+		cur := 2
+		for _, want := range []int{4, 8, 16, 16} {
+			if cur = s.decide(topo, cur, 0.9); cur != want {
+				t.Fatalf("grow chain got %d, want %d", cur, want)
+			}
+		}
+	})
+
+	t.Run("shrink halves and clamps", func(t *testing.T) {
+		s := scaler{as: AutoScale{GrowThreshold: 0.5, ShrinkThreshold: 0.05, Dwell: 0}}
+		cur := 16
+		for _, want := range []int{8, 4, 2, 2} {
+			if cur = s.decide(topo, cur, 0.0); cur != want {
+				t.Fatalf("shrink chain got %d, want %d", cur, want)
+			}
+		}
+	})
+
+	t.Run("mid pressure holds", func(t *testing.T) {
+		s := scaler{as: AutoScale{GrowThreshold: 0.5, ShrinkThreshold: 0.05, Dwell: 0}}
+		for i := 0; i < 5; i++ {
+			if got := s.decide(topo, 8, 0.25); got != 8 {
+				t.Fatalf("pressure 0.25 moved m to %d", got)
+			}
+		}
+	})
+
+	t.Run("negative shrink threshold disables shrink", func(t *testing.T) {
+		s := scaler{as: AutoScale{GrowThreshold: 0.5, ShrinkThreshold: -1, Dwell: 0}}
+		for i := 0; i < 5; i++ {
+			if got := s.decide(topo, 16, 0.0); got != 16 {
+				t.Fatalf("disabled shrink still moved m to %d", got)
+			}
+		}
+	})
+}
+
+// TestAutoScaleTickGrowsUnderInjectedContentionShrinksWhenIdle drives the
+// MultiQueue's contention-priced controller deterministically: the
+// contention signal is injected by rolling back the controller's last-seen
+// LockContended watermark (so the next tick prices a positive Δcontended
+// against zero completed critical sections — the saturated branch,
+// pressure 1), and idleness is the true zero-delta state. Grow must
+// staircase to MaxM, idle ticks must walk it back to MinM, and elements are
+// conserved throughout.
+func TestAutoScaleTickGrowsUnderInjectedContentionShrinksWhenIdle(t *testing.T) {
+	q := NewMultiQueue(MultiQueueConfig{
+		Topology: Topology{InitialM: 2, MinM: 2, MaxM: 16,
+			AutoScale: &AutoScale{GrowThreshold: 0.5, ShrinkThreshold: 0.05, Dwell: 1}},
+		Seed: 21,
+	})
+	h := q.NewHandle(1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		h.Enqueue(uint64(i))
+	}
+	if m, _ := q.AutoScaleTick(); m != 2 {
+		t.Fatalf("baseline tick moved m to %d", m)
+	}
+
+	inject := func() {
+		// Roll the watermark back so the next tick sees ΔLockContended = 8
+		// with ΔCrit = 0 (no ops ran since the baseline): the saturated
+		// branch prices that as pressure 1. uint64 wraparound in the delta
+		// makes this exact even while the true counter is still 0.
+		q.resizeMu.Lock()
+		q.lastContended -= 8
+		q.lastCrit = q.Stats().Elisions + q.Stats().Publications
+		q.resizeMu.Unlock()
+	}
+	grown := []int{}
+	for i := 0; i < 12 && q.M() < 16; i++ {
+		inject()
+		if m, resized := q.AutoScaleTick(); resized {
+			grown = append(grown, m)
+		}
+	}
+	if q.M() != 16 {
+		t.Fatalf("injected contention grew m to %d, want MaxM 16 (steps %v)", q.M(), grown)
+	}
+	if fmt.Sprint(grown) != "[4 8 16]" {
+		t.Fatalf("grow staircase %v, want [4 8 16]", grown)
+	}
+
+	// Idle: no operations between ticks → Δcrit = Δcontended = 0 →
+	// pressure 0 → halve after each dwell.
+	shrunk := []int{}
+	for i := 0; i < 12 && q.M() > 2; i++ {
+		if m, resized := q.AutoScaleTick(); resized {
+			shrunk = append(shrunk, m)
+		}
+	}
+	if q.M() != 2 {
+		t.Fatalf("idle ticks shrank m to %d, want MinM 2 (steps %v)", q.M(), shrunk)
+	}
+	if fmt.Sprint(shrunk) != "[8 4 2]" {
+		t.Fatalf("shrink staircase %v, want [8 4 2]", shrunk)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d after grow/shrink cycle, want %d", q.Len(), n)
+	}
+
+	// A queue without AutoScale never moves, whatever the watermarks say.
+	fixed := NewMultiQueue(MultiQueueConfig{Topology: elasticTopo(4, 2, 16), Seed: 22})
+	if m, resized := fixed.AutoScaleTick(); resized || m != 4 {
+		t.Fatalf("nil-AutoScale tick returned (%d, %v)", m, resized)
+	}
+}
+
+// TestMultiCounterResizeConservesExact checks the counter's releveling
+// resize: Exact is conserved to the unit across shrink and grow, the
+// redistributed cells are level (gap ≤ 1 at quiescence), and the
+// caller-pressure AutoScaleTick walks the same staircase as the queue's.
+func TestMultiCounterResizeConservesExact(t *testing.T) {
+	mc := NewMultiCounterConfig(MultiCounterConfig{
+		Topology: Topology{InitialM: 8, MinM: 1, MaxM: 32,
+			AutoScale: &AutoScale{GrowThreshold: 0.5, ShrinkThreshold: 0.05, Dwell: 1}},
+	})
+	h := mc.NewHandle(1)
+	const n = 100_003 // prime: the releveling remainder path is exercised
+	for i := 0; i < n; i++ {
+		h.Increment()
+	}
+	if mc.Exact() != n {
+		t.Fatalf("Exact = %d before resize, want %d", mc.Exact(), n)
+	}
+	for _, m := range []int{32, 3, 1, 16} {
+		if got := mc.Resize(m); got != m {
+			t.Fatalf("Resize(%d) = %d", m, got)
+		}
+		if mc.Exact() != n {
+			t.Fatalf("Exact = %d after Resize(%d), want %d", mc.Exact(), m, n)
+		}
+		if gap := mc.Gap(); gap > 1 {
+			t.Fatalf("Gap = %d after releveling Resize(%d), want <= 1", gap, m)
+		}
+		snap := make([]uint64, mc.M())
+		mc.Snapshot(snap)
+		var sum uint64
+		for _, v := range snap {
+			sum += v
+		}
+		if sum != n {
+			t.Fatalf("live cells sum %d after Resize(%d), want %d — weight stranded in a retired cell", sum, m, n)
+		}
+	}
+	// Stale handle keeps counting correctly across the flips.
+	for i := 0; i < 1000; i++ {
+		h.Increment()
+	}
+	h.Flush()
+	if mc.Exact() != n+1000 {
+		t.Fatalf("Exact = %d after post-resize increments, want %d", mc.Exact(), n+1000)
+	}
+
+	// Caller-fed pressure: saturate → MaxM, idle → MinM.
+	for i := 0; i < 12 && mc.M() < 32; i++ {
+		mc.AutoScaleTick(1.0)
+	}
+	if mc.M() != 32 {
+		t.Fatalf("pressure-1 ticks grew m to %d, want 32", mc.M())
+	}
+	for i := 0; i < 14 && mc.M() > 1; i++ {
+		mc.AutoScaleTick(0.0)
+	}
+	if mc.M() != 1 {
+		t.Fatalf("pressure-0 ticks shrank m to %d, want 1", mc.M())
+	}
+	if mc.Exact() != n+1000 {
+		t.Fatalf("Exact = %d after autoscale staircase, want %d", mc.Exact(), n+1000)
+	}
+}
+
+// TestSamplerReseed pins the stale-handle reseed contract: the clamp
+// d = min(d0, m) re-applies in both directions, candidates after a reseed
+// stay within the new range, the affine stripe is re-placed exactly as a
+// fresh construction would place it, and the reseed itself never allocates.
+func TestSamplerReseed(t *testing.T) {
+	r := rng.NewXoshiro256(7)
+
+	t.Run("reclamp both directions", func(t *testing.T) {
+		s := NewSampler(16, 8, 4)
+		s.Reseed(2) // m below d0: clamp to 2
+		if s.Choices() != 2 {
+			t.Fatalf("Choices = %d after Reseed(2), want 2", s.Choices())
+		}
+		for _, c := range s.Candidates(r, 2) {
+			if c < 0 || c >= 2 {
+				t.Fatalf("candidate %d outside [0, 2)", c)
+			}
+		}
+		s.Reseed(64) // widen back toward d0
+		if s.Choices() != 8 {
+			t.Fatalf("Choices = %d after Reseed(64), want d0 8", s.Choices())
+		}
+		seen := false
+		for i := 0; i < 50; i++ {
+			for _, c := range s.Candidates(r, 8) {
+				if c < 0 || c >= 64 {
+					t.Fatalf("candidate %d outside [0, 64)", c)
+				}
+				if c >= 16 {
+					seen = true
+				}
+			}
+			s.Expire()
+		}
+		if !seen {
+			t.Fatal("after Reseed(64) no candidate ever landed beyond the old m — sampler still draws from [0, 16)")
+		}
+	})
+
+	t.Run("affine stripe re-placed like fresh construction", func(t *testing.T) {
+		const handle = 42
+		s := NewAffineSampler(32, 4, 8, 0.25, handle)
+		s.Reseed(8)
+		fresh := NewAffineSampler(8, 4, 8, 0.25, handle)
+		gb, gw := s.Stripe()
+		wb, ww := fresh.Stripe()
+		if gb != wb || gw != ww {
+			t.Fatalf("reseeded stripe (%d,%d) != fresh stripe (%d,%d)", gb, gw, wb, ww)
+		}
+	})
+
+	t.Run("zero alloc", func(t *testing.T) {
+		s := NewSampler(16, 8, 4)
+		if allocs := testing.AllocsPerRun(100, func() {
+			s.Reseed(2)
+			s.Reseed(64)
+		}); allocs != 0 {
+			t.Fatalf("Reseed allocates %.1f/op, want 0", allocs)
+		}
+	})
+}

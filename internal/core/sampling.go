@@ -45,6 +45,15 @@ type Sampler struct {
 	rerolls uint64
 	cand    []int
 
+	// Reseed inputs: the requested d before the m-clamp, the affinity
+	// fraction and the handle id, retained so a resize epoch can re-derive
+	// the whole draw policy at the new m in place (Reseed) — the clamp, the
+	// stripe width and the golden-ratio stripe center are all functions of
+	// (d0, affinity, handle, m).
+	d0       int
+	affinity float64
+	handle   uint64
+
 	// Stripe (affinity) state. width == 0 selects the uniform draw; width
 	// >= d is the home-stripe size w, base its current start on the [0, m)
 	// ring, and refreshes counts refreshes since the last rotation.
@@ -67,13 +76,16 @@ func NewSampler(m, d, window int) Sampler {
 	if d < 1 {
 		panic("core: NewSampler needs d >= 1")
 	}
+	d0 := d
 	if d > m {
 		d = m
 	}
 	if window < 1 {
 		window = 1
 	}
-	return Sampler{m: m, d: d, window: window, cand: make([]int, d)}
+	// cand's capacity is the unclamped d0, so a later Reseed at a larger m
+	// can widen the candidate set back toward d0 without allocating.
+	return Sampler{m: m, d: d, d0: d0, window: window, cand: make([]int, d, d0)}
 }
 
 // NewAffineSampler returns a sampler biased toward a per-handle home stripe:
@@ -99,11 +111,25 @@ func NewAffineSampler(m, d, window int, affinity float64, handle uint64) Sampler
 		panic("core: NewAffineSampler needs affinity in [0, 1]")
 	}
 	s := NewSampler(m, d, window)
-	if affinity == 0 || s.d == 1 {
-		return s
+	s.affinity = affinity
+	s.handle = handle
+	s.placeStripe()
+	return s
+}
+
+// placeStripe derives the affinity stripe (width, base) from the sampler's
+// current (m, d, affinity, handle), leaving the sampler uniform when
+// affinity is 0 or the clamped d degenerates to 1. Shared by construction
+// and Reseed so an epoch flip re-places the stripe by exactly the rule the
+// constructor used.
+func (s *Sampler) placeStripe() {
+	s.width, s.base, s.refreshes = 0, 0, 0
+	if s.affinity == 0 || s.d == 1 {
+		return
 	}
-	w := int(affinity * float64(m))
-	if float64(w) < affinity*float64(m) {
+	m := s.m
+	w := int(s.affinity * float64(m))
+	if float64(w) < s.affinity*float64(m) {
 		w++ // ceil
 	}
 	if w < s.d {
@@ -116,12 +142,35 @@ func NewAffineSampler(m, d, window int, affinity float64, handle uint64) Sampler
 	// center = frac(handle·φ)·m: the top 32 bits of handle·φ form a 0.32
 	// fixed-point fraction of the ring, which the multiply-then-shift
 	// scales by m.
-	center := int(((handle * 0x9e3779b97f4a7c15) >> 32) * uint64(m) >> 32)
+	center := int(((s.handle * 0x9e3779b97f4a7c15) >> 32) * uint64(m) >> 32)
 	s.base = center - w/2
 	if s.base < 0 {
 		s.base += m
 	}
-	return s
+}
+
+// Reseed re-derives the sampler for a new shard count m — the stale-handle
+// half of a resize epoch (DESIGN.md §11). The clamp d = min(d0, m), the
+// stripe width and the golden-ratio stripe center are recomputed from the
+// retained construction inputs; the candidate set and window budget are
+// discarded (the old indices may exceed the new m or target sealed shards),
+// so the next Candidates/Best call draws fresh indices at the new topology.
+// The candidate slice is resized in place within its original capacity —
+// Reseed never allocates, keeping the steady-state 0 allocs/op contract.
+func (s *Sampler) Reseed(m int) {
+	if m < 1 {
+		panic("core: Reseed needs m >= 1")
+	}
+	s.m = m
+	d := s.d0
+	if d > m {
+		d = m
+	}
+	s.d = d
+	s.cand = s.cand[:d]
+	s.placeStripe()
+	s.left = 0
+	s.reroll = false
 }
 
 // Choices returns d, the candidate set size (clamped to m).

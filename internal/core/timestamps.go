@@ -16,9 +16,17 @@ type Timestamps struct {
 	mc *MultiCounter
 }
 
-// NewTimestamps returns an oracle over m shards.
+// NewTimestamps returns an oracle over m shards. It is the fixed-m
+// convenience form of NewTimestampsTopology.
 func NewTimestamps(m int) *Timestamps {
-	return &Timestamps{mc: NewMultiCounter(m)}
+	return NewTimestampsTopology(Topology{InitialM: m})
+}
+
+// NewTimestampsTopology returns an oracle whose backing counter sizes
+// itself through the elastic Topology surface (DESIGN.md §11); resize the
+// clock with Counter().Resize.
+func NewTimestampsTopology(t Topology) *Timestamps {
+	return &Timestamps{mc: NewMultiCounterConfig(MultiCounterConfig{Topology: t})}
 }
 
 // Counter exposes the backing MultiCounter (for skew instrumentation).

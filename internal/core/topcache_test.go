@@ -31,7 +31,7 @@ func TestEmptyScanTakesNoLocks(t *testing.T) {
 			}
 		}
 
-		seqs := make([]uint64, q.m)
+		seqs := make([]uint64, q.M())
 		for i, pq := range q.qs {
 			w := pq.ReadTop()
 			if !w.StableEmpty() {

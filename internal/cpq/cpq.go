@@ -270,6 +270,13 @@ type Queue struct {
 	// read lock-free by Stats.
 	invalidations atomic.Uint64
 	reclaimed     atomic.Uint64
+
+	// sealed marks a queue retired from its MultiQueue's live range by a
+	// shrink epoch (SealAndDrain) or parked beyond the initial topology at
+	// construction. A sealed queue refuses every insert and invalidation —
+	// reporting refusal so the caller re-syncs its epoch and re-targets — and
+	// is permanently empty until Unseal. Lock-holder-owned, like pubMin.
+	sealed bool
 }
 
 // New returns an empty queue with the given backing and capacity hint.
@@ -459,11 +466,19 @@ func (q *Queue) drainLocked(k int, dst []heap.Item) []heap.Item {
 	}
 }
 
-// Add inserts (priority, value), blocking on the queue's lock.
-func (q *Queue) Add(priority, value uint64) {
+// Add inserts (priority, value), blocking on the queue's lock. It reports
+// whether the insert was accepted: false means the queue is sealed (retired
+// by a shrink epoch) and the element was NOT inserted — the caller must
+// re-sync its epoch and re-target a live queue.
+func (q *Queue) Add(priority, value uint64) bool {
 	q.lock.Lock()
+	if q.sealed {
+		q.lock.Unlock()
+		return false
+	}
 	q.addLocked(priority, value)
 	q.lock.Unlock()
+	return true
 }
 
 // batchMin returns the smallest priority in a non-empty batch — the value
@@ -513,19 +528,26 @@ func (q *Queue) popUpToLocked(k int, dst []heap.Item) ([]heap.Item, heap.Item, b
 // publish, amortising the lock hand-off and the top-store cache-line write
 // over len(items) elements — through the backing's PushBatch when it offers
 // one. It is the insert half of the MultiQueue's sticky/batched fast path;
-// an empty batch is a no-op that takes no lock.
-func (q *Queue) AddBatch(items []heap.Item) {
+// an empty batch is a no-op that takes no lock. Like Add it reports whether
+// the batch was accepted: false means the queue is sealed and NO item was
+// inserted.
+func (q *Queue) AddBatch(items []heap.Item) bool {
 	if len(items) == 0 {
-		return
+		return true
 	}
 	q.lock.Lock()
+	if q.sealed {
+		q.lock.Unlock()
+		return false
+	}
 	q.addBatchLocked(items)
 	q.lock.Unlock()
+	return true
 }
 
 // TryAddBatch is AddBatch's non-blocking variant: it inserts the batch only
-// if the lock is free, reporting whether the insert happened. An empty batch
-// reports true without touching the lock.
+// if the lock is free and the queue is unsealed, reporting whether the
+// insert happened. An empty batch reports true without touching the lock.
 func (q *Queue) TryAddBatch(items []heap.Item) bool {
 	if len(items) == 0 {
 		return true
@@ -534,6 +556,10 @@ func (q *Queue) TryAddBatch(items []heap.Item) bool {
 		return false
 	}
 	if !q.lock.TryLock() {
+		return false
+	}
+	if q.sealed {
+		q.lock.Unlock()
 		return false
 	}
 	q.addBatchLocked(items)
@@ -577,14 +603,18 @@ func (q *Queue) TryDeleteMinUpTo(k int, dst []heap.Item) (out []heap.Item, acqui
 	return dst, true
 }
 
-// TryAdd inserts (priority, value) only if the lock is free, reporting
-// whether the insert happened. MultiQueue enqueues use it to skip contended
-// queues and re-draw.
+// TryAdd inserts (priority, value) only if the lock is free and the queue is
+// unsealed, reporting whether the insert happened. MultiQueue enqueues use it
+// to skip contended queues and re-draw.
 func (q *Queue) TryAdd(priority, value uint64) bool {
 	if fail.Enabled && fail.Inject(fail.SiteCPQTryRefuse) != nil {
 		return false
 	}
 	if !q.lock.TryLock() {
+		return false
+	}
+	if q.sealed {
+		q.lock.Unlock()
 		return false
 	}
 	q.addLocked(priority, value)
@@ -669,9 +699,14 @@ func (q *Queue) finishInvalidateLocked(minPrio uint64) {
 // core layer's ElemRef plumbing and the mempool's residency index provide
 // exactly this). Invalidating an absent element permanently corrupts the
 // queue's length accounting. Returns false — arming nothing — when value is
-// already tombstoned.
+// already tombstoned, or when the queue is sealed (a shrink drained its
+// residents elsewhere; the core layer's forwarding table re-targets the ref).
 func (q *Queue) Invalidate(priority, value uint64) bool {
 	q.lock.Lock()
+	if q.sealed {
+		q.lock.Unlock()
+		return false
+	}
 	armed := q.invalidateLocked(value)
 	if armed {
 		q.finishInvalidateLocked(priority)
@@ -692,6 +727,10 @@ func (q *Queue) InvalidateBatch(items []heap.Item) int {
 		return 0
 	}
 	q.lock.Lock()
+	if q.sealed {
+		q.lock.Unlock()
+		return 0
+	}
 	armed := 0
 	minPrio := uint64(0)
 	for _, it := range items {
@@ -801,3 +840,74 @@ func (q *Queue) LockForTest() bool { return q.lock.TryLock() }
 
 // UnlockForTest releases a lock taken with LockForTest.
 func (q *Queue) UnlockForTest() { q.lock.Unlock() }
+
+// Seal retires the queue without draining it: set at construction for shard
+// slots beyond the initial topology (the parked tail of a MaxM-sized array).
+// Call only before the queue is shared or under external serialization; a
+// shared live queue is retired with SealAndDrain instead.
+func (q *Queue) Seal() {
+	q.lock.Lock()
+	q.sealed = true
+	q.lock.Unlock()
+}
+
+// SealAndDrain retires a live queue in one critical section — the victim
+// half of a shrink epoch: mark the queue sealed, remove every live element
+// into dst (tombstoned elements are skipped and their tombstones consumed,
+// so Invalidations == Reclaimed for this queue afterwards), and publish a
+// stable empty top word. Because seal and drain are atomic under the queue's
+// lock, an insert racing the shrink either lands before the seal (its
+// element is drained and donated with the rest) or is refused after it —
+// no element can slip into a retired shard. Returns dst extended with the
+// drained live elements, in ascending priority order.
+//
+// Sealing an already-sealed queue drains nothing and returns dst unchanged.
+func (q *Queue) SealAndDrain(dst []heap.Item) []heap.Item {
+	q.lock.Lock()
+	if q.sealed {
+		q.lock.Unlock()
+		return dst
+	}
+	q.sealed = true
+	if q.pubEmpty {
+		// The tombstone invariant means a published-empty queue has an empty
+		// backing (and therefore no tombstones): seal is the only change.
+		q.elisions.Add(1)
+		q.lock.Unlock()
+		return dst
+	}
+	q.beginTop()
+	start := len(dst)
+	for {
+		var ok bool
+		dst, _, ok = q.popUpToLocked(1<<30, dst)
+		if len(q.dead) != 0 {
+			dst = q.filterDeadFrom(dst, start)
+		}
+		if !ok {
+			break
+		}
+	}
+	q.publishTopItem(heap.Item{}, false)
+	q.lock.Unlock()
+	return dst
+}
+
+// Unseal returns a sealed queue to service — the grow half of a resize
+// epoch, run on parked tail slots before the new topology is published so
+// every queue inside the new live range accepts inserts by the time any
+// handle can target it.
+func (q *Queue) Unseal() {
+	q.lock.Lock()
+	q.sealed = false
+	q.lock.Unlock()
+}
+
+// Sealed reports whether the queue is currently sealed (taking the lock;
+// not a hot-path operation).
+func (q *Queue) Sealed() bool {
+	q.lock.Lock()
+	s := q.sealed
+	q.lock.Unlock()
+	return s
+}

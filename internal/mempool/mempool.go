@@ -87,8 +87,11 @@ type Tx struct {
 // Config configures New. The zero value of optional fields selects
 // defaults.
 type Config struct {
-	// Queue configures the underlying relaxed MultiQueue (Queues, Choices,
-	// Stickiness, Batch, Backing, Affinity...). Queue.Queues is required.
+	// Queue configures the underlying relaxed MultiQueue (Topology, Choices,
+	// Stickiness, Batch, Backing, Affinity...). Queue.Topology.InitialM (or
+	// the deprecated Queue.Queues) is required. An elastic Topology works
+	// here: outstanding ElemRefs survive resize epochs through the queue's
+	// forwarding table, so Remove/Replace keep landing after a shrink.
 	// The pool installs its own Clock-free priority scheme.
 	Queue core.MultiQueueConfig
 	// Capacity bounds the number of resident (admitted, undelivered)

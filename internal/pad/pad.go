@@ -36,6 +36,9 @@ func (p *Uint64) Store(x uint64) { p.v.Store(x) }
 // Add atomically adds delta and returns the new value.
 func (p *Uint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
 
+// Swap atomically installs x and returns the previous value.
+func (p *Uint64) Swap(x uint64) uint64 { return p.v.Swap(x) }
+
 // CompareAndSwap executes the CAS and reports whether it succeeded.
 func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }
 
@@ -149,6 +152,41 @@ func (s *Seq64) Publish(payload uint64) {
 	s.shadow = payload<<SeqBits | seq
 	s.w.Store(s.shadow)
 }
+
+// EpochWord is a cache-line padded atomic word publishing a structure's
+// resize topology: the current live shard count m in the low 32 bits and a
+// monotone epoch counter in the high 32. One atomic load delivers both, so a
+// handle's staleness check on every operation entry is a single load plus a
+// word compare against its cached copy — the seqlock-style "epoch word" of
+// the elastic resize protocol (DESIGN.md §11). Writers (the resize path,
+// serialized by the structure's resize mutex) publish with Store; the
+// epoch half only ever grows, so a reader comparing raw words can never
+// confuse two distinct topologies.
+//
+// The zero value is epoch 0 with m 0; call Init before sharing.
+type EpochWord struct {
+	w atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
+// PackEpoch assembles a raw epoch word from an epoch counter and a live
+// shard count.
+func PackEpoch(epoch uint32, m int) uint64 { return uint64(epoch)<<32 | uint64(uint32(m)) }
+
+// UnpackEpoch splits a raw epoch word into its epoch counter and live shard
+// count.
+func UnpackEpoch(w uint64) (epoch uint32, m int) { return uint32(w >> 32), int(uint32(w)) }
+
+// Init stores the initial topology before the word is shared.
+func (e *EpochWord) Init(epoch uint32, m int) { e.w.Store(PackEpoch(epoch, m)) }
+
+// Load returns the raw word with one atomic load; decode with UnpackEpoch
+// (or compare raw against a cached copy — the hot-path staleness check).
+func (e *EpochWord) Load() uint64 { return e.w.Load() }
+
+// Store publishes a new topology. Only the exclusive resize writer may call
+// it, and epoch must exceed every previously published epoch.
+func (e *EpochWord) Store(epoch uint32, m int) { e.w.Store(PackEpoch(epoch, m)) }
 
 // SpinLock is a cache-line padded test-and-test-and-set spinlock with
 // adaptive spin-then-yield backoff (see Backoff). MultiQueue priority
