@@ -12,11 +12,23 @@
 //
 // The run ends by closing every session (flushing the leases) and printing
 // per-tenant conservation stats plus wire-operation throughput.
+//
+// With -expect-restart the client is a crash-recovery verifier (DESIGN.md
+// §12): it keeps an acked ledger (operations the daemon answered 200 for —
+// journaled before the ack, so they must survive a kill) and a maybe ledger
+// (requests whose response was lost — the daemon may or may not have applied
+// and journaled them), rides out daemon downtime by polling /readyz, and at
+// the end asserts the recovered state sits inside the [acked, acked+maybe]
+// envelope, printing a RECOVERY PASS/FAIL verdict (exit 1 on FAIL). An
+// acked-but-lost operation — the one thing the WAL forbids — is always a
+// FAIL; the maybe slack is the documented at-most-one-in-flight-request
+// overshoot per worker.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +38,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/dlzd"
@@ -84,6 +97,10 @@ func main() {
 		retryCap   = flag.Duration("retry-cap", 0, "retry delay growth cap (0 = 1s)")
 		raMax      = flag.Duration("retry-after-max", 0,
 			"cap on the honored Retry-After hint — the shed ladder hints whole seconds, which a polite client honors fully but a saturation benchmark may bound (0 = honor fully)")
+		expectRestart = flag.Bool("expect-restart", false,
+			"crash-recovery verifier mode: ride out daemon kills (poll /readyz), track acked vs maybe-applied ledgers, assert conservation after recovery and print a RECOVERY PASS/FAIL verdict")
+		restartTimeout = flag.Duration("restart-timeout", 60*time.Second,
+			"-expect-restart: give up if the daemon is not ready again within this window")
 	)
 	flag.Parse()
 	if *tenants < 1 || *workers < 1 || *batch < 1 || *batch > dlzd.MaxWireBatch {
@@ -101,6 +118,14 @@ func main() {
 		enqueued  = make([]atomic.Int64, *tenants)
 		dequeued  = make([]atomic.Int64, *tenants)
 		deltaSums = make([]atomic.Uint64, *tenants)
+		// Maybe ledgers (-expect-restart): upper bounds on what a request
+		// with a lost response could have applied. A lost delete-min is
+		// bounded by its requested max — the response carrying the real count
+		// never arrived.
+		maybeEnq    = make([]atomic.Int64, *tenants)
+		maybeDeq    = make([]atomic.Int64, *tenants)
+		maybeDeltas = make([]atomic.Uint64, *tenants)
+		disruptions atomic.Int64 // transport errors ridden out in -expect-restart
 	)
 	// One stage at -workers by default; -ramp-workers splits the op budget
 	// across stages of increasing concurrency so a daemon running the
@@ -140,6 +165,10 @@ func main() {
 			var retryAfter time.Duration
 			var errMsg string
 			var err error
+			// Potential effect of this request, charged to the maybe ledger
+			// when the response is lost mid-flight.
+			var mEnq, mDeq int64
+			var mDelta uint64
 			switch r.Intn(4) {
 			case 0, 1:
 				n := 1 + r.Intn(*batch)
@@ -148,15 +177,18 @@ func main() {
 					p := uint64(prioZipf.Next())
 					items[j] = dlzd.WireItem{Priority: p, Value: p}
 				}
+				mEnq = int64(n)
 				code, retryAfter, errMsg, err = postJSON(client, base+"/enqueue-batch",
 					dlzd.EnqueueBatchRequest{Session: session, Items: items}, nil)
 				if code == http.StatusOK {
 					enqueued[tn].Add(int64(n))
 				}
 			case 2:
+				max := 1 + r.Intn(*batch)
+				mDeq = int64(max)
 				var deq dlzd.DeleteMinResponse
 				code, retryAfter, errMsg, err = postJSON(client, base+"/delete-min-up-to",
-					dlzd.DeleteMinRequest{Session: session, Max: 1 + r.Intn(*batch)}, &deq)
+					dlzd.DeleteMinRequest{Session: session, Max: max}, &deq)
 				if code == http.StatusOK {
 					dequeued[tn].Add(int64(len(deq.Items)))
 				}
@@ -168,6 +200,7 @@ func main() {
 					deltas[j] = 1 + r.Uint64n(100)
 					sum += deltas[j]
 				}
+				mDelta = sum
 				code, retryAfter, errMsg, err = postJSON(client, base+"/counter/add-batch",
 					dlzd.CounterAddRequest{Session: session, Deltas: deltas}, nil)
 				if code == http.StatusOK {
@@ -175,10 +208,39 @@ func main() {
 				}
 			}
 			if err != nil {
-				log.Printf("worker %d: %v", w, err)
-				return
+				if !*expectRestart {
+					log.Printf("worker %d: %v", w, err)
+					return
+				}
+				// A refused connection means the daemon was down before the
+				// request was delivered: definitely not applied, no maybe
+				// charge. Anything else (reset, EOF, timeout) lost the
+				// response mid-flight — the daemon may have applied and
+				// journaled the operation, so bound it in the maybe ledger.
+				if !errors.Is(err, syscall.ECONNREFUSED) {
+					maybeEnq[tn].Add(mEnq)
+					maybeDeq[tn].Add(mDeq)
+					maybeDeltas[tn].Add(mDelta)
+				}
+				disruptions.Add(1)
+				if !waitReady(client, *addr, *restartTimeout) {
+					log.Printf("worker %d: daemon not ready within %v", w, *restartTimeout)
+					return
+				}
+				continue
 			}
 			switch {
+			case *expectRestart && code == http.StatusServiceUnavailable &&
+				(strings.Contains(errMsg, "recovering") || strings.Contains(errMsg, "closed") ||
+					strings.Contains(errMsg, "draining")):
+				// The daemon is draining for or replaying after a restart;
+				// the request was cleanly rejected (nothing applied). Wait
+				// out the downtime instead of burning the retry budget.
+				disruptions.Add(1)
+				if !waitReady(client, *addr, *restartTimeout) {
+					log.Printf("worker %d: daemon not ready within %v", w, *restartTimeout)
+					return
+				}
 			case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
 				// Backpressure or a busy session: sleep the jittered
 				// window (at least Retry-After), then press on with the
@@ -210,12 +272,21 @@ func main() {
 				opCount.Add(1)
 			}
 		}
-		// Flush the worker's leases on every tenant it may have touched.
+		// Flush the worker's leases on every tenant it may have touched. In
+		// -expect-restart the close must land (it publishes buffered work the
+		// verification below counts on), so ride out downtime and retry.
 		for tn := 0; tn < *tenants; tn++ {
 			base := fmt.Sprintf("%s/v1/load%d", *addr, tn)
-			if _, _, _, err := postJSON(client, base+"/session/close",
-				dlzd.SessionCloseRequest{Session: session}, nil); err != nil {
-				log.Printf("worker %d: close tenant %d: %v", w, tn, err)
+			for attempt := 0; ; attempt++ {
+				code, _, errMsg, err := postJSON(client, base+"/session/close",
+					dlzd.SessionCloseRequest{Session: session}, nil)
+				if err == nil && code/100 == 2 {
+					break
+				}
+				if !*expectRestart || attempt >= 3 || !waitReady(client, *addr, *restartTimeout) {
+					log.Printf("worker %d: close tenant %d: %v (%d %s)", w, tn, err, code, errMsg)
+					break
+				}
 			}
 		}
 	}
@@ -239,6 +310,64 @@ func main() {
 	fmt.Printf("dlzd-load: %d ops in %v (%.0f ops/s, %d ramp stages), %d rejections (%d shed, %d busy-503), %d jittered retries\n",
 		opCount.Load(), elapsed.Round(time.Millisecond),
 		float64(opCount.Load())/elapsed.Seconds(), len(stages), rejected.Load(), sheds.Load(), busy.Load(), retries.Load())
+
+	if *expectRestart {
+		// The daemon may still be mid-restart from a kill landing after the
+		// last worker op; settle before reading stats.
+		client := &http.Client{Timeout: 10 * time.Second}
+		if !waitReady(client, *addr, *restartTimeout) {
+			fmt.Println("RECOVERY FAIL: daemon never became ready for verification")
+			os.Exit(1)
+		}
+		pass := true
+		for tn := 0; tn < *tenants; tn++ {
+			var st dlzd.StatsResponse
+			if err := getStats(client, *addr, tn, &st); err != nil {
+				fmt.Printf("RECOVERY FAIL: stats tenant load%d: %v\n", tn, err)
+				os.Exit(1)
+			}
+			queue := int64(st.QueueLen) + int64(st.BufferedEnqueues) + int64(st.PrefetchedDequeues)
+			// Acked enqueues were journaled before their 200 and acked
+			// deletes likewise: the floor is acked-in minus acked-out minus
+			// what a lost-response delete could have removed, the ceiling
+			// adds what a lost-response enqueue could have inserted.
+			low := enqueued[tn].Load() - dequeued[tn].Load() - maybeDeq[tn].Load()
+			if low < 0 {
+				low = 0
+			}
+			high := enqueued[tn].Load() + maybeEnq[tn].Load() - dequeued[tn].Load()
+			counter := st.CounterExact + st.BufferedCounterWeight
+			cLow, cHigh := deltaSums[tn].Load(), deltaSums[tn].Load()+maybeDeltas[tn].Load()
+			switch {
+			case queue < low:
+				fmt.Printf("RECOVERY FAIL tenant load%d: %d acked elements lost (queue=%d, floor=%d)\n",
+					tn, low-queue, queue, low)
+				pass = false
+			case queue > high:
+				fmt.Printf("RECOVERY FAIL tenant load%d: %d unacked elements resurfaced beyond the maybe envelope (queue=%d, ceiling=%d)\n",
+					tn, queue-high, queue, high)
+				pass = false
+			case counter < cLow || counter > cHigh:
+				fmt.Printf("RECOVERY FAIL tenant load%d: counter=%d outside acked envelope [%d, %d]\n",
+					tn, counter, cLow, cHigh)
+				pass = false
+			case st.Invalidations != st.Reclaimed:
+				fmt.Printf("RECOVERY FAIL tenant load%d: tombstones unbalanced (armed=%d reclaimed=%d)\n",
+					tn, st.Invalidations, st.Reclaimed)
+				pass = false
+			default:
+				fmt.Printf("  tenant load%d: queue=%d in [%d, %d], counter=%d in [%d, %d] (maybe: +%d/-%d elems, +%d weight)\n",
+					tn, queue, low, high, counter, cLow, cHigh,
+					maybeEnq[tn].Load(), maybeDeq[tn].Load(), maybeDeltas[tn].Load())
+			}
+		}
+		if !pass {
+			fmt.Printf("RECOVERY FAIL (%d disruptions ridden out)\n", disruptions.Load())
+			os.Exit(1)
+		}
+		fmt.Printf("RECOVERY PASS: conservation holds across %d disruptions (acked-op loss = 0)\n", disruptions.Load())
+		return
+	}
 	if *quiet {
 		return
 	}
@@ -271,6 +400,38 @@ func main() {
 			tn, st.QueueLen, want, st.CounterExact, deltaSums[tn].Load(), st.CurrentM, st.Resizes, st.Leases, st.QuotaUsed, verdict)
 	}
 	fmt.Printf("dlzd-load: observed %d resize epochs across %d tenants\n", epochs, *tenants)
+}
+
+// waitReady polls GET /readyz until the daemon answers 200, sleeping between
+// probes (connection errors and 503s both mean "not yet"). Returns false if
+// the window expires first.
+func waitReady(client *http.Client, addr string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(addr + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return false
+}
+
+// getStats fetches and decodes one tenant's /stats.
+func getStats(client *http.Client, addr string, tn int, st *dlzd.StatsResponse) error {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/load%d/stats", addr, tn))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(st)
 }
 
 // parseRamp parses the -ramp-workers spec "lo:hi:step" into a staged

@@ -16,6 +16,12 @@
 // Drive it with cmd/dlzd-load; scrape GET /metrics for the elision,
 // spin-backoff and sampler-reroll counters plus the degradation-ladder
 // series (shed level, busy/deadline/panic counters).
+//
+// Durability (DESIGN.md §12) is opt-in via -wal-dir: the daemon journals
+// every acknowledged mutating request, recovers the journal before flipping
+// /readyz to 200, and writes a final snapshot on SIGTERM so a clean restart
+// replays zero records. The socket binds before recovery starts — /healthz
+// answers 200 and /v1 answers 503 while the replay runs.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +39,7 @@ import (
 	"repro/dlz"
 	"repro/dlzd"
 	"repro/internal/cpq"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -74,6 +82,18 @@ func main() {
 			"http.Server WriteTimeout: response write deadline (0 = none)")
 		maxHeaderBytes = flag.Int("http-max-header-bytes", 1<<20,
 			"http.Server MaxHeaderBytes: request header size cap")
+
+		// Durability knobs (DESIGN.md §12); all inert unless -wal-dir is set.
+		walDir = flag.String("wal-dir", "",
+			"write-ahead journal directory; enables crash durability (empty = off)")
+		walFsync = flag.String("wal-fsync", "never",
+			"journal fsync policy: never (process-crash durable), interval (group flusher), always (group commit per ack)")
+		walFsyncInterval = flag.Duration("wal-fsync-interval", 100*time.Millisecond,
+			"flusher period for -wal-fsync=interval")
+		walSegmentBytes = flag.Int64("wal-segment-bytes", 4<<20,
+			"journal segment roll size")
+		walSnapshotBytes = flag.Int64("wal-snapshot-bytes", 64<<20,
+			"journal growth between janitor snapshots (negative = snapshot only at shutdown)")
 	)
 	flag.Parse()
 
@@ -81,6 +101,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var durability *dlzd.Durability
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		durability = &dlzd.Durability{
+			Dir:           *walDir,
+			Fsync:         policy,
+			FsyncInterval: *walFsyncInterval,
+			SegmentBytes:  *walSegmentBytes,
+			SnapshotBytes: *walSnapshotBytes,
+		}
 	}
 
 	var as *dlz.AutoScale
@@ -110,9 +145,8 @@ func main() {
 		ShedTarget:     *shedTarget,
 		ShedHold:       *shedHold,
 		Seed:           *seed,
+		Durability:     durability,
 	})
-	stopJanitor := srv.StartJanitor(0)
-	defer stopJanitor()
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -122,20 +156,48 @@ func main() {
 		WriteTimeout:      *writeTimeout,
 		MaxHeaderBytes:    *maxHeaderBytes,
 	}
+	// Bind before recovery: /healthz answers immediately while /readyz and
+	// /v1 answer 503 until the journal replay completes, so an orchestrator
+	// sees a live-but-not-ready process instead of a refused connection.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dlzd: listening on %s (m=%d backing=%s batch=%d stickiness=%d affinity=%.2f)",
+		*addr, *queues, backing, *batch, *stickiness, *affinity)
+
+	stopped := make(chan struct{})
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
+		defer close(stopped)
 		<-done
 		log.Printf("dlzd: shutting down, flushing leases")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx) // stop accepting, drain in-flight handlers
-		srv.Close()          // flush and retire every lease
+		// Flush and retire every lease; with durability on this also writes
+		// the final snapshot and seals the journal, so a clean restart
+		// replays zero records.
+		srv.Close()
 	}()
 
-	log.Printf("dlzd: listening on %s (m=%d backing=%s batch=%d stickiness=%d affinity=%.2f)",
-		*addr, *queues, backing, *batch, *stickiness, *affinity)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	stats, err := srv.Recover()
+	if err != nil {
+		log.Fatalf("dlzd: recovery failed: %v", err)
+	}
+	if durability != nil {
+		log.Printf("dlzd: recovered %d tenants (%d records on snapshot cut %d, head %d, %d torn bytes) in %s; ready",
+			stats.Tenants, stats.Records, stats.SnapshotCut, stats.Head, stats.TornBytes, stats.Duration)
+	}
+	stopJanitor := srv.StartJanitor(0)
+	defer stopJanitor()
+
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	<-stopped // wait for the final snapshot before exiting
 }

@@ -40,6 +40,7 @@ import (
 	"repro/dlz"
 	"repro/internal/cpq"
 	"repro/internal/fail"
+	"repro/internal/wal"
 )
 
 // MaxWireBatch bounds the item count of a single wire request (enqueue
@@ -117,6 +118,11 @@ type Config struct {
 	ShedHold time.Duration
 	// Seed feeds the structure and handle seed sequence (default 1).
 	Seed uint64
+	// Durability enables the write-ahead journal + snapshot rung (DESIGN.md
+	// §12): every acknowledged mutating request is journaled before its 200
+	// and Recover rebuilds the tenant namespaces on boot. nil (the default)
+	// keeps the daemon purely in-memory with zero added work on any path.
+	Durability *Durability
 }
 
 // Server is the daemon: an http.Handler serving the wire API plus the
@@ -130,6 +136,20 @@ type Server struct {
 
 	seeds  atomic.Uint64
 	closed atomic.Bool
+
+	// Durability state (all quiescent without Config.Durability). ready
+	// gates /v1 traffic: false from New until Recover completes on a
+	// durable server, true from New otherwise. sweepMu serializes the
+	// idle-expiry sweep against the snapshotter's capture; snapMu
+	// serializes snapshotters against each other.
+	walPtr          atomic.Pointer[wal.Log]
+	ready           atomic.Bool
+	sweepMu         sync.Mutex
+	snapMu          sync.Mutex
+	recoveryRecords atomic.Uint64
+	recoveryNanos   atomic.Int64
+	walAppendErrors atomic.Uint64
+	snapshotsTaken  atomic.Uint64
 }
 
 // New returns a Server with cfg's zero values normalized to defaults. The
@@ -168,8 +188,21 @@ func New(cfg Config) *Server {
 	if !(cfg.Affinity >= 0 && cfg.Affinity <= 1) { // rejects NaN too
 		panic("dlzd: Config.Affinity must be in [0, 1]")
 	}
+	if d := cfg.Durability; d != nil {
+		if d.Dir == "" {
+			panic("dlzd: Config.Durability.Dir is required")
+		}
+		dd := *d // normalize a copy so the caller's struct is not mutated
+		if dd.SnapshotBytes == 0 {
+			dd.SnapshotBytes = 64 << 20
+		}
+		cfg.Durability = &dd
+	}
 	s := &Server{cfg: cfg, tenants: map[string]*tenant{}}
 	s.seeds.Store(cfg.Seed)
+	// A durable server is born not-ready: Recover must replay the journal
+	// before /v1 traffic is admitted.
+	s.ready.Store(cfg.Durability == nil)
 	return s
 }
 
@@ -216,8 +249,13 @@ func (s *Server) tenantSnapshot() []*tenant {
 
 // ExpireIdle flushes and retires every lease across all tenants whose last
 // use is before cutoff, returning the number expired. The janitor calls it
-// on a timer; tests call it directly for deterministic expiry.
+// on a timer; tests call it directly for deterministic expiry. sweepMu
+// excludes the snapshotter's capture window: a lease the sweep has delinked
+// but not yet closed would be invisible to the capture's flush pass, and
+// its close publishes buffered elements.
 func (s *Server) ExpireIdle(cutoff time.Time) int {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
 	n := 0
 	for _, t := range s.tenantSnapshot() {
 		n += t.expireIdle(cutoff)
@@ -234,23 +272,37 @@ func (s *Server) AutoScaleTick() int {
 	if s.cfg.AutoScale == nil {
 		return 0
 	}
+	journaled := s.log() != nil
 	n := 0
 	for _, t := range s.tenantSnapshot() {
+		// A journaled autoscale resize runs under the tenant's ops gate so
+		// its record cannot interleave with a snapshot capture (which would
+		// strand the resize on the wrong side of the cut).
+		if journaled {
+			t.ops.RLock()
+		}
 		if t.autoScaleTick() {
 			n++
+			if journaled {
+				_ = s.journal(&wal.Record{Type: wal.RecResize, Tenant: t.name, M: t.mq.M()})
+			}
+		}
+		if journaled {
+			t.ops.RUnlock()
 		}
 	}
 	return n
 }
 
 // StartJanitor launches the maintenance loop — every interval it expires
-// leases idle for Config.IdleTimeout and, with Config.AutoScale set, ticks
-// every tenant's resize controller — and returns its stop function. With
-// neither duty configured it returns a no-op stop without launching
-// anything. interval <= 0 defaults to IdleTimeout / 4 (1s when only
-// autoscaling).
+// leases idle for Config.IdleTimeout, ticks every tenant's resize
+// controller (with Config.AutoScale set), and writes a snapshot once the
+// journal has grown Durability.SnapshotBytes since the last one — and
+// returns its stop function. With no duty configured it returns a no-op
+// stop without launching anything. interval <= 0 defaults to
+// IdleTimeout / 4 (1s when only autoscaling or snapshotting).
 func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
-	if s.cfg.IdleTimeout <= 0 && s.cfg.AutoScale == nil {
+	if s.cfg.IdleTimeout <= 0 && s.cfg.AutoScale == nil && s.cfg.Durability == nil {
 		return func() {}
 	}
 	if interval <= 0 {
@@ -273,6 +325,11 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 					s.ExpireIdle(time.Now().Add(-s.cfg.IdleTimeout))
 				}
 				s.AutoScaleTick()
+				if d := s.cfg.Durability; d != nil && d.SnapshotBytes > 0 {
+					if l := s.log(); l != nil && l.BytesSinceSnapshot() >= d.SnapshotBytes {
+						_ = s.Snapshot()
+					}
+				}
 			}
 		}
 	}()
@@ -280,32 +337,49 @@ func (s *Server) StartJanitor(interval time.Duration) (stop func()) {
 }
 
 // Close flushes and retires every lease and marks the server closed (further
-// requests get 503). The final-flush half of the conservation contract: after
-// Close every buffered element has been published, so quiescent audits
-// (tenant stats, direct structure reads) are exact.
+// /v1 requests get 503; /healthz and /metrics stay up). The final-flush half
+// of the conservation contract: after Close every buffered element has been
+// published, so quiescent audits (tenant stats, direct structure reads) are
+// exact. With durability on, Close then writes a final snapshot and seals
+// the journal, so a clean restart replays zero records.
 func (s *Server) Close() {
 	s.closed.Store(true)
-	for _, t := range s.tenantSnapshot() {
-		t.expireIdle(time.Now().Add(time.Hour))
+	s.ExpireIdle(time.Now().Add(time.Hour))
+	if l := s.log(); l != nil {
+		_ = s.Snapshot()
+		_ = l.Close()
 	}
 }
 
 // ServeHTTP routes the wire API. The path grammar is Go 1.21-compatible
-// manual parsing: /healthz, /metrics, and /v1/{tenant}/{op} where op is one
-// of enqueue-batch, delete-min-up-to, counter/add-batch, counter/read,
-// session/close, resize, stats.
+// manual parsing: /healthz, /readyz, /metrics, and /v1/{tenant}/{op} where
+// op is one of enqueue-batch, delete-min-up-to, counter/add-batch,
+// counter/read, session/close, resize, stats.
+//
+// /healthz is liveness: 200 for the whole process lifetime, including WAL
+// replay and graceful drain — restarting a recovering daemon only makes it
+// recover again. /readyz is readiness: 503 until recovery completes and 503
+// again once drain begins, so orchestrators stop routing without killing
+// the process. /metrics stays scrapeable throughout; only /v1 traffic is
+// refused while not ready or draining.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server closed")
-		return
-	}
 	switch {
 	case r.URL.Path == "/healthz":
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
+	case r.URL.Path == "/readyz":
+		s.serveReadyz(w)
 	case r.URL.Path == "/metrics":
 		s.serveMetrics(w)
 	case strings.HasPrefix(r.URL.Path, "/v1/"):
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server closed")
+			return
+		}
+		if !s.ready.Load() {
+			writeError(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+			return
+		}
 		s.serveTenantOp(w, r, strings.TrimPrefix(r.URL.Path, "/v1/"))
 	default:
 		writeError(w, http.StatusNotFound, "unknown path")
@@ -359,6 +433,19 @@ func (s *Server) serveTenantOp(w http.ResponseWriter, r *http.Request, rest stri
 	}
 	defer t.release()
 	mutating := op == "enqueue-batch" || op == "delete-min-up-to" || op == "counter/add-batch"
+	if s.log() != nil {
+		switch op {
+		case "enqueue-batch", "delete-min-up-to", "counter/add-batch", "session/close", "resize":
+			// The tenant's ops gate (read side). The snapshotter takes the
+			// write side, so a capture sees no journaled operation in
+			// flight. Registered before the recovery envelope: defers run
+			// LIFO, so the gate is still held while the envelope repairs a
+			// panicked lease — the repair flush publishes elements, which
+			// must not interleave with a capture either.
+			t.ops.RLock()
+			defer t.ops.RUnlock()
+		}
+	}
 	if mutating {
 		if retryAfter, shed := t.shed(); shed {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
@@ -504,8 +591,28 @@ func (s *Server) handleEnqueueBatch(w http.ResponseWriter, r *http.Request, t *t
 	// clean 200, an injected mid-batch abort, a deadline overrun, or a panic
 	// unwinding to the recovery envelope. Conservation audits rely on it:
 	// OpsEnqueued counts exactly the items that entered the leased handle.
+	// The journal record mirrors the same discipline: appended explicitly
+	// before the 200 on the ack path, and by defer on every other exit, so
+	// the journal records exactly the applied operations (an error or panic
+	// exit journals applied-but-unacknowledged work — the documented
+	// at-least-once overshoot a restart may resurface).
 	applied := 0
-	defer func() { t.opsEnqueued.Add(uint64(applied)) }()
+	metered := uint64(len(req.Items))
+	logged := false
+	journal := func() error {
+		if logged {
+			return nil
+		}
+		logged = true
+		return s.journal(&wal.Record{Type: wal.RecEnqueue, Tenant: t.name, Session: req.Session,
+			Items: wireToWalItems(req.Items, applied), Metered: metered})
+	}
+	defer func() {
+		t.opsEnqueued.Add(uint64(applied))
+		if s.log() != nil {
+			_ = journal()
+		}
+	}()
 	ctx := r.Context()
 	for _, it := range req.Items {
 		if fail.Enabled {
@@ -527,6 +634,12 @@ func (s *Server) handleEnqueueBatch(w http.ResponseWriter, r *http.Request, t *t
 		// would leak exactly the elements that ride a faulted auto-publish.
 		applied++
 		l.mqh.EnqueuePriority(it.Priority, it.Value)
+	}
+	if s.log() != nil {
+		if err := journal(); err != nil {
+			writeError(w, http.StatusInternalServerError, "journal append failed")
+			return
+		}
 	}
 	s.finish(w, EnqueueBatchResponse{Enqueued: applied, Buffered: l.mqh.Buffered()})
 }
@@ -558,7 +671,26 @@ func (s *Server) handleDeleteMinUpTo(w http.ResponseWriter, r *http.Request, t *
 	// structure are counted even when a later fault turns the response into
 	// a 500 (at-most-once delivery — the server ledger stays exact).
 	items := make([]WireItem, 0, req.Max)
-	defer func() { t.opsDequeued.Add(uint64(len(items))) }()
+	metered := uint64(req.Max)
+	logged := false
+	journal := func() error {
+		if logged {
+			return nil
+		}
+		logged = true
+		out := make([]wal.Item, len(items))
+		for i, it := range items {
+			out[i] = wal.Item{Priority: it.Priority, Value: it.Value}
+		}
+		return s.journal(&wal.Record{Type: wal.RecDeleteMin, Tenant: t.name, Session: req.Session,
+			Items: out, Metered: metered})
+	}
+	defer func() {
+		t.opsDequeued.Add(uint64(len(items)))
+		if s.log() != nil {
+			_ = journal()
+		}
+	}()
 	ctx := r.Context()
 	truncated := false
 	for len(items) < req.Max {
@@ -575,6 +707,17 @@ func (s *Server) handleDeleteMinUpTo(w http.ResponseWriter, r *http.Request, t *
 			break
 		}
 		items = append(items, WireItem{Priority: it.Priority, Value: it.Value})
+	}
+	if s.log() != nil {
+		if err := journal(); err != nil {
+			// The elements are already removed; the journal defer would not
+			// retry (logged is set). A 500 here means the journal refused —
+			// the record was never written, so a restart resurfaces the
+			// drained elements: at-most-once delivery still holds, the
+			// client just cannot know which. The failure counter surfaces it.
+			writeError(w, http.StatusInternalServerError, "journal append failed")
+			return
+		}
 	}
 	s.finish(w, DeleteMinResponse{Items: items, Truncated: truncated})
 }
@@ -606,9 +749,22 @@ func (s *Server) handleCounterAdd(w http.ResponseWriter, r *http.Request, t *ten
 	// CounterDeltaSum equals the counter's exact value at quiescence even
 	// when a fault interrupts the apply loop.
 	applied, weight := 0, uint64(0)
+	metered := uint64(len(req.Deltas))
+	logged := false
+	journal := func() error {
+		if logged {
+			return nil
+		}
+		logged = true
+		return s.journal(&wal.Record{Type: wal.RecCounterAdd, Tenant: t.name, Session: req.Session,
+			Count: uint64(applied), Weight: weight, Metered: metered})
+	}
 	defer func() {
 		t.opsCounterAdds.Add(uint64(applied))
 		t.counterDeltaSum.Add(weight)
+		if s.log() != nil {
+			_ = journal()
+		}
 	}()
 	ctx := r.Context()
 	for _, d := range req.Deltas {
@@ -621,6 +777,12 @@ func (s *Server) handleCounterAdd(w http.ResponseWriter, r *http.Request, t *ten
 		l.ch.Add(d)
 		applied++
 		weight += d
+	}
+	if s.log() != nil {
+		if err := journal(); err != nil {
+			writeError(w, http.StatusInternalServerError, "journal append failed")
+			return
+		}
 	}
 	s.finish(w, CounterAddResponse{
 		Added:          applied,
@@ -657,7 +819,18 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request, t *t
 		writeError(w, http.StatusBadRequest, "session token required")
 		return
 	}
-	writeJSON(w, SessionCloseResponse{Closed: t.closeSession(req.Session)})
+	closed := t.closeSession(req.Session)
+	if closed && s.log() != nil {
+		// The close published the lease's buffered work into the shared
+		// structures; the record exists so two journal replays agree on when
+		// that publish became visible (the replayed enqueues are already in
+		// their own records — close carries no payload).
+		if err := s.journal(&wal.Record{Type: wal.RecSessionClose, Tenant: t.name, Session: req.Session}); err != nil {
+			writeError(w, http.StatusInternalServerError, "journal append failed")
+			return
+		}
+	}
+	writeJSON(w, SessionCloseResponse{Closed: closed})
 }
 
 // handleResize serves POST /v1/{tenant}/resize: move the tenant's live
@@ -676,6 +849,12 @@ func (s *Server) handleResize(w http.ResponseWriter, r *http.Request, t *tenant)
 	}
 	m := t.mq.Resize(req.M)
 	t.mc.Resize(m)
+	if s.log() != nil {
+		if err := s.journal(&wal.Record{Type: wal.RecResize, Tenant: t.name, M: m}); err != nil {
+			writeError(w, http.StatusInternalServerError, "journal append failed")
+			return
+		}
+	}
 	st := t.mq.Stats()
 	writeJSON(w, ResizeResponse{M: m, Epoch: st.Epoch, Resizes: st.Resizes})
 }

@@ -418,7 +418,15 @@ func TestServerClose503(t *testing.T) {
 		t.Fatalf("enqueue = %d", code)
 	}
 	s.Close()
-	if code := c.get("/healthz", nil); code != http.StatusServiceUnavailable {
+	// Liveness stays green after Close (the process is alive and draining);
+	// readiness and the API go 503.
+	if code := c.get("/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz after Close = %d, want 200", code)
+	}
+	if code := c.get("/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after Close = %d, want 503", code)
+	}
+	if code := c.get("/v1/x/stats", nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("request after Close = %d, want 503", code)
 	}
 	// Close flushed the lease: the buffered elements are in the structure.

@@ -140,6 +140,27 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 	sumCounter("dlzd_resize_epochs_total", "Completed resize epochs across tenant MultiQueues.",
 		func(r tenantRow) uint64 { return r.mq.Resizes })
 
+	// Durability series (DESIGN.md §12). Emitted unconditionally — all zero
+	// when the WAL is off — so dashboards and the CI smoke check never need
+	// to special-case the configuration.
+	floatGauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	var fsyncs, walBytes uint64
+	if l := s.log(); l != nil {
+		fsyncs = l.Fsyncs()
+		walBytes = l.BytesAppended()
+	}
+	counter("dlzd_wal_fsyncs_total", "Journal fsync calls issued (group commits count once).", fsyncs)
+	counter("dlzd_wal_bytes_total", "Bytes appended to the write-ahead journal.", walBytes)
+	counter("dlzd_wal_append_errors_total", "Journal appends that failed (each poisons its request's ack).",
+		s.walAppendErrors.Load())
+	counter("dlzd_snapshots_total", "Point-in-time snapshots written.", s.snapshotsTaken.Load())
+	counter("dlzd_recovery_replayed_records", "Journal records replayed on top of the snapshot at last boot.",
+		s.recoveryRecords.Load())
+	floatGauge("dlzd_recovery_duration_seconds", "Wall time of journal recovery at last boot.",
+		float64(s.recoveryNanos.Load())/1e9)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

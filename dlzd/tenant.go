@@ -32,6 +32,12 @@ type tenant struct {
 	mu     sync.Mutex // guards leases
 	leases map[string]*lease
 
+	// ops is the durability gate (DESIGN.md §12): journaled handlers hold
+	// it shared for their whole request, the snapshotter takes it exclusive,
+	// freezing the tenant so a capture sits at one consistent cut LSN.
+	// Untouched when durability is off.
+	ops sync.RWMutex
+
 	// inflight is the backpressure gauge: requests currently inside this
 	// tenant's handlers. Bounded by Config.MaxInFlight.
 	inflight atomic.Int64

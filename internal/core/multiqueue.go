@@ -414,6 +414,43 @@ func (q *MultiQueue) donateLocked(drained []heap.Item, m int, newEpoch uint32) {
 	}
 }
 
+// SnapshotElements captures the structure's full contents into dst and
+// puts every element straight back, returning dst extended with the capture
+// in shard-drain order — the point-in-time read the durability snapshotter
+// needs. It holds the resize lock for the whole capture, so no resize or
+// autoscale tick can interleave, and drains each live shard without sealing
+// it (cpq.Drain): a shard is never in a refusing state, so a racing insert
+// fallback cannot lose elements. The capture is only a consistent cut if
+// the caller has quiesced concurrent mutators (dlzd's snapshotter holds
+// every tenant's operation gate and flushes every lease first); tombstoned
+// elements are excluded and their tombstones consumed. Elements re-enter
+// round-robin across the live shards, which strands stale forwarding
+// entries — callers holding outstanding ElemRefs must not snapshot.
+func (q *MultiQueue) SnapshotElements(dst []heap.Item) []heap.Item {
+	q.resizeMu.Lock()
+	defer q.resizeMu.Unlock()
+	_, m := pad.UnpackEpoch(q.epoch.Load())
+	start := len(dst)
+	for i := 0; i < m; i++ {
+		dst = q.qs[i].Drain(dst)
+	}
+	drained := dst[start:]
+	chunk := q.batch
+	if chunk < 16 {
+		chunk = 16
+	}
+	target := 0
+	for off := 0; off < len(drained); off += chunk {
+		end := off + chunk
+		if end > len(drained) {
+			end = len(drained)
+		}
+		q.qs[target].AddBatch(drained[off:end]) // live shards are never sealed here
+		target = (target + 1) % m
+	}
+	return dst
+}
+
 // AutoScaleTick advances the contention-driven controller one tick: it
 // prices the interval since the previous tick as
 // ΔLockContended / Δ(Elisions+Publications) — the fraction of critical
@@ -695,6 +732,21 @@ func (h *MQHandle) Flush() {
 	h.syncEpoch()
 	h.addBatchRetrying(h.inBuf)
 	h.inBuf = h.inBuf[:0]
+}
+
+// ReturnPrefetched hands the handle's unconsumed prefetched elements back
+// to the shared structure without retiring the handle — the quiesce step a
+// durability snapshot runs on every live lease so the capture sees those
+// elements (they were physically removed by a DeleteMinUpTo refill but are
+// logically still queued). The handle stays open; its next Dequeue simply
+// refills. Pair with Flush for a full quiesce of both buffers.
+func (h *MQHandle) ReturnPrefetched() {
+	h.checkOpen()
+	if rest := h.outBuf[h.outPos:]; len(rest) > 0 {
+		h.syncEpoch()
+		h.addBatchRetrying(rest)
+	}
+	h.outBuf, h.outPos = h.outBuf[:0], 0
 }
 
 // enqTarget picks the insert queue through the sticky uniform sampler and

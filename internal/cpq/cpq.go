@@ -893,6 +893,46 @@ func (q *Queue) SealAndDrain(dst []heap.Item) []heap.Item {
 	return dst
 }
 
+// Drain removes every live element into dst without retiring the queue —
+// the snapshot half of the durability rung: the shard stays in service and
+// keeps accepting inserts the moment the lock releases, so a concurrent
+// flush is refused by nothing and loses nothing (unlike a seal, whose
+// refusal the flush fallback path does not check). Tombstoned elements are
+// skipped and their tombstones consumed, and a stable empty top word is
+// published before the lock releases. Returns dst extended with the drained
+// live elements in ascending priority order. The caller re-adds the drained
+// frame (snapshotters quiesce mutators first, so the empty window is
+// invisible); draining a sealed queue returns dst unchanged — sealed shards
+// hold no elements.
+func (q *Queue) Drain(dst []heap.Item) []heap.Item {
+	q.lock.Lock()
+	if q.sealed {
+		q.lock.Unlock()
+		return dst
+	}
+	if q.pubEmpty {
+		// Tombstone invariant: published-empty means empty backing.
+		q.elisions.Add(1)
+		q.lock.Unlock()
+		return dst
+	}
+	q.beginTop()
+	start := len(dst)
+	for {
+		var ok bool
+		dst, _, ok = q.popUpToLocked(1<<30, dst)
+		if len(q.dead) != 0 {
+			dst = q.filterDeadFrom(dst, start)
+		}
+		if !ok {
+			break
+		}
+	}
+	q.publishTopItem(heap.Item{}, false)
+	q.lock.Unlock()
+	return dst
+}
+
 // Unseal returns a sealed queue to service — the grow half of a resize
 // epoch, run on parked tail slots before the new topology is published so
 // every queue inside the new live range accepts inserts by the time any

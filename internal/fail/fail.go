@@ -59,6 +59,16 @@
 //	dlzd/lease/close   inside the lease retirement ladder, before the
 //	                   handles close (each ladder attempt passes it again,
 //	                   so Count-bounded panic policies converge)
+//	wal/append         head of wal.Log.Append, before any bytes reach the
+//	                   segment (an error refuses the append with the journal
+//	                   intact — the acked request then fails without a
+//	                   record, exercising the journal-unavailable 500 path)
+//	wal/fsync          immediately before an fsync of the active segment
+//	                   (delay here widens the window where acked records
+//	                   sit in the page cache — the SIGKILL-mid-fsync race
+//	                   the kill-restart soak targets; the error outcome is
+//	                   ignored: write(2) already made the record crash-safe
+//	                   against process kill)
 //
 // Policies injecting panics must only be armed at sites that are panic-safe
 // by design — the sites above are all outside spinlock critical sections
@@ -86,6 +96,8 @@ const (
 	SiteDlzdEnqueueItem = "dlzd/enqueue/item"
 	SiteDlzdJanitor     = "dlzd/janitor/expire"
 	SiteDlzdLeaseClose  = "dlzd/lease/close"
+	SiteWALAppend       = "wal/append"
+	SiteWALFsync        = "wal/fsync"
 )
 
 // Kind selects a policy's fault outcome.

@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout (all integers little-endian):
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// The CRC uses the Castagnoli polynomial. payloadLen is capped at
+// MaxPayload, so a corrupt length prefix can never drive a huge
+// allocation; a frame whose length field exceeds the remaining bytes is a
+// torn tail, not an error to propagate. Payload layout:
+//
+//	u8 type | u64 lsn | u8 len|tenant | u8 len|session | per-type body
+//
+// Per-type bodies:
+//
+//	enqueue/deletemin: u32 n | n x (u64 priority, u64 value) | u64 metered
+//	counter-add:       u64 count | u64 weight | u64 metered
+//	resize:            u32 m
+//	session-close:     (empty)
+//
+// The codec is canonical: decode rejects any leftover bytes, so
+// encode(decode(p)) == p for every accepted payload. That property is what
+// lets the fuzz target cross-check the decoder against the encoder.
+
+// MaxPayload bounds a single record payload. The largest legitimate record
+// is an enqueue/delete batch of MaxWireBatch (4096) items: ~64KiB. 1MiB
+// leaves generous slack without letting a corrupt length prefix allocate
+// unbounded memory during replay.
+const MaxPayload = 1 << 20
+
+// frameHeader is the fixed prefix of every frame: length plus CRC.
+const frameHeader = 8
+
+// maxBatchItems caps the decoded item count of one record, matching the
+// wire-level batch cap in dlzd (MaxWireBatch = 4096) with slack.
+const maxBatchItems = 1 << 16
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Item is one priority-queue element as journaled: the same (priority,
+// value) pair the wire protocol carries.
+type Item struct {
+	Priority uint64
+	Value    uint64
+}
+
+// RecordType discriminates journal records. Values are part of the on-disk
+// format; never renumber.
+type RecordType uint8
+
+const (
+	// RecEnqueue journals the items an enqueue-batch request applied.
+	RecEnqueue RecordType = 1
+	// RecDeleteMin journals the items a delete-min-up-to request delivered.
+	RecDeleteMin RecordType = 2
+	// RecCounterAdd journals the count and weight a counter/add-batch
+	// request applied.
+	RecCounterAdd RecordType = 3
+	// RecResize journals a topology resize (explicit or autoscale) with the
+	// new shard count.
+	RecResize RecordType = 4
+	// RecSessionClose journals a session retirement. Replay ignores it
+	// (leases are not recovered) but it keeps the journal a complete
+	// operation history for offline checkers.
+	RecSessionClose RecordType = 5
+)
+
+// Record is one journal entry. LSN is assigned by Log.Append; the remaining
+// fields are set by the caller according to Type:
+//
+//   - RecEnqueue:    Items = applied elements, Metered = quota ops charged
+//   - RecDeleteMin:  Items = delivered elements, Metered = quota ops charged
+//   - RecCounterAdd: Count = deltas applied, Weight = their sum, Metered as above
+//   - RecResize:     M = new shard count
+//   - RecSessionClose: identification fields only
+type Record struct {
+	LSN     uint64
+	Type    RecordType
+	Tenant  string
+	Session string
+	Items   []Item
+	Count   uint64
+	Weight  uint64
+	M       int
+	Metered uint64
+}
+
+// appendFrame appends the framed encoding of r to dst and returns the
+// extended slice.
+func appendFrame(dst []byte, r *Record) []byte {
+	head := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc placeholders
+	dst = appendPayload(dst, r)
+	payload := dst[head+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[head:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[head+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+func appendPayload(dst []byte, r *Record) []byte {
+	dst = append(dst, byte(r.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, r.LSN)
+	dst = appendShortString(dst, r.Tenant)
+	dst = appendShortString(dst, r.Session)
+	switch r.Type {
+	case RecEnqueue, RecDeleteMin:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Items)))
+		for _, it := range r.Items {
+			dst = binary.LittleEndian.AppendUint64(dst, it.Priority)
+			dst = binary.LittleEndian.AppendUint64(dst, it.Value)
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, r.Metered)
+	case RecCounterAdd:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Count)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Weight)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Metered)
+	case RecResize:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(r.M))
+	case RecSessionClose:
+	}
+	return dst
+}
+
+// appendShortString appends a u8 length prefix plus up to 255 bytes of s.
+// Tenant names are validated to 64 bytes upstream; session tokens are
+// client-chosen and journaled for history only, so truncation is safe.
+func appendShortString(dst []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+// decodePayload parses one record payload. It is strict: unknown types,
+// short bodies, oversized batches, and leftover trailing bytes are all
+// errors, making the accepted encoding canonical.
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 1+8 {
+		return r, fmt.Errorf("wal: payload too short (%d bytes)", len(p))
+	}
+	r.Type = RecordType(p[0])
+	r.LSN = binary.LittleEndian.Uint64(p[1:])
+	p = p[9:]
+	var err error
+	if r.Tenant, p, err = cutShortString(p); err != nil {
+		return r, fmt.Errorf("wal: tenant: %w", err)
+	}
+	if r.Session, p, err = cutShortString(p); err != nil {
+		return r, fmt.Errorf("wal: session: %w", err)
+	}
+	switch r.Type {
+	case RecEnqueue, RecDeleteMin:
+		if len(p) < 4 {
+			return r, fmt.Errorf("wal: truncated item count")
+		}
+		n := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		if n > maxBatchItems {
+			return r, fmt.Errorf("wal: item count %d exceeds cap", n)
+		}
+		if uint64(len(p)) != uint64(n)*16+8 {
+			return r, fmt.Errorf("wal: item body length %d != %d items", len(p), n)
+		}
+		if n > 0 {
+			r.Items = make([]Item, n)
+			for i := range r.Items {
+				r.Items[i].Priority = binary.LittleEndian.Uint64(p)
+				r.Items[i].Value = binary.LittleEndian.Uint64(p[8:])
+				p = p[16:]
+			}
+		}
+		r.Metered = binary.LittleEndian.Uint64(p)
+		p = p[8:]
+	case RecCounterAdd:
+		if len(p) != 24 {
+			return r, fmt.Errorf("wal: counter body length %d", len(p))
+		}
+		r.Count = binary.LittleEndian.Uint64(p)
+		r.Weight = binary.LittleEndian.Uint64(p[8:])
+		r.Metered = binary.LittleEndian.Uint64(p[16:])
+		p = p[24:]
+	case RecResize:
+		if len(p) != 4 {
+			return r, fmt.Errorf("wal: resize body length %d", len(p))
+		}
+		r.M = int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+	case RecSessionClose:
+	default:
+		return r, fmt.Errorf("wal: unknown record type %d", r.Type)
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("wal: %d trailing payload bytes", len(p))
+	}
+	return r, nil
+}
+
+func cutShortString(p []byte) (string, []byte, error) {
+	if len(p) < 1 {
+		return "", nil, fmt.Errorf("missing length byte")
+	}
+	n := int(p[0])
+	if len(p) < 1+n {
+		return "", nil, fmt.Errorf("length %d exceeds %d remaining bytes", n, len(p)-1)
+	}
+	return string(p[1 : 1+n]), p[1+n:], nil
+}
+
+// DecodeSegment scans one segment image and returns every valid record up
+// to the first invalid or torn frame. goodLen is the byte offset of that
+// frame (== len(data) when the whole segment is valid); recovery truncates
+// the file there. wantFirst, when nonzero, pins the required LSN of the
+// first record (segments are named by it); every subsequent record must
+// extend the sequence by exactly one — a skip, repeat, or regression is
+// treated as corruption at that frame. The scanner never panics on
+// arbitrary input.
+func DecodeSegment(data []byte, wantFirst uint64) (recs []Record, goodLen int) {
+	next := wantFirst
+	pinned := wantFirst != 0
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, off // torn header
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > MaxPayload || len(data)-off-frameHeader < plen {
+			return recs, off // absurd or torn length
+		}
+		payload := data[off+frameHeader : off+frameHeader+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, off
+		}
+		r, err := decodePayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		if pinned && r.LSN != next {
+			return recs, off // LSN discontinuity: duplicated or spliced frames
+		}
+		pinned = true
+		next = r.LSN + 1
+		recs = append(recs, r)
+		off += frameHeader + plen
+	}
+	return recs, off
+}

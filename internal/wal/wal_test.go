@@ -1,0 +1,487 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testOpen(t *testing.T, dir string, opt Options) (*Log, *Recovered) {
+	t.Helper()
+	opt.Dir = dir
+	l, rec, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func mustAppend(t *testing.T, l *Log, r Record) uint64 {
+	t.Helper()
+	lsn, err := l.Append(&r)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: RecEnqueue, Tenant: "acme", Session: "s1",
+			Items: []Item{{5, 50}, {3, 30}}, Metered: 2},
+		{Type: RecCounterAdd, Tenant: "acme", Session: "s1", Count: 3, Weight: 12, Metered: 3},
+		{Type: RecDeleteMin, Tenant: "acme", Session: "s2", Items: []Item{{3, 30}}, Metered: 1},
+		{Type: RecResize, Tenant: "acme", M: 8},
+		{Type: RecSessionClose, Tenant: "acme", Session: "s1"},
+		{Type: RecEnqueue, Tenant: "globex", Session: "g", Items: nil, Metered: 0},
+	}
+}
+
+// recordsEqual ignores LSN-independent slice identity quirks (nil vs empty).
+func recordsEqual(a, b Record) bool {
+	if len(a.Items) == 0 && len(b.Items) == 0 {
+		a.Items, b.Items = nil, nil
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := testOpen(t, dir, Options{})
+	if rec.Head != 0 || len(rec.Records) != 0 || rec.Snapshot != nil {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	want := sampleRecords()
+	for i := range want {
+		lsn := mustAppend(t, l, want[i])
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d for record %d", lsn, i)
+		}
+	}
+	if l.Head() != uint64(len(want)) {
+		t.Fatalf("Head %d", l.Head())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Append(&Record{Type: RecSessionClose, Tenant: "x"}); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	l2, rec2 := testOpen(t, dir, Options{})
+	defer l2.Close()
+	if rec2.Head != uint64(len(want)) || rec2.TornBytes != 0 {
+		t.Fatalf("recovered head=%d torn=%d", rec2.Head, rec2.TornBytes)
+	}
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i, got := range rec2.Records {
+		exp := want[i]
+		exp.LSN = uint64(i + 1)
+		if !recordsEqual(got, exp) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, exp)
+		}
+	}
+	// Appends continue from the recovered head.
+	if lsn := mustAppend(t, l2, Record{Type: RecSessionClose, Tenant: "y"}); lsn != uint64(len(want)+1) {
+		t.Fatalf("post-recovery lsn %d", lsn)
+	}
+}
+
+func TestSegmentRollAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{SegmentBytes: 256})
+	const n = 100
+	for i := 0; i < n; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i), uint64(i)}}, Metered: 1})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	_, rec := testOpenAndClose(t, dir)
+	if len(rec.Records) != n || rec.Head != n {
+		t.Fatalf("recovered %d records head %d", len(rec.Records), rec.Head)
+	}
+	for i, r := range rec.Records {
+		if r.LSN != uint64(i+1) || r.Items[0].Priority != uint64(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func testOpenAndClose(t *testing.T, dir string) (*Log, *Recovered) {
+	t.Helper()
+	l, rec := testOpen(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return l, rec
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i), 1}}, Metered: 1})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record in half.
+	if err := os.WriteFile(seg, data[:len(data)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := testOpenAndClose(t, dir)
+	if len(rec.Records) != 4 || rec.Head != 4 {
+		t.Fatalf("after tear: %d records head %d", len(rec.Records), rec.Head)
+	}
+	if rec.TornBytes == 0 {
+		t.Fatalf("torn bytes not reported")
+	}
+	// The repair pass must leave the file frame-clean: a second recovery
+	// sees no tear.
+	_, rec2 := testOpenAndClose(t, dir)
+	if rec2.TornBytes != 0 || len(rec2.Records) != 4 {
+		t.Fatalf("repair did not truncate: %+v", rec2)
+	}
+}
+
+func TestBitFlipStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{})
+	for i := 0; i < 6; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i), 1}}, Metered: 1})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // corrupt a middle record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := testOpenAndClose(t, dir)
+	if len(rec.Records) >= 6 {
+		t.Fatalf("corrupt record replayed: %d records", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("replay not a prefix: record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+func TestDuplicateSegmentSuffixDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i), 1}}, Metered: 1})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Duplicate the segment under a later first-LSN name: its first record
+	// claims LSN 1, contradicting the name, so recovery must not replay it.
+	data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(5)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := testOpenAndClose(t, dir)
+	if len(rec.Records) != 4 || rec.Head != 4 {
+		t.Fatalf("duplicate suffix changed replay: %d records head %d", len(rec.Records), rec.Head)
+	}
+}
+
+func TestSnapshotTruncatesAndCleanCloseReplaysZero(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i), uint64(100 + i)}}, Metered: 1})
+	}
+	snap := &Snapshot{
+		CutLSN: l.Head(),
+		Tenants: []TenantState{{
+			Name: "t", M: 4,
+			Items:       []Item{{1, 101}, {2, 102}},
+			OpsEnqueued: 20, OpsMetered: 20,
+		}},
+	}
+	if err := l.WriteSnapshot(snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if l.BytesSinceSnapshot() != 0 || l.SnapshotCut() != 20 {
+		t.Fatalf("snapshot bookkeeping: since=%d cut=%d", l.BytesSinceSnapshot(), l.SnapshotCut())
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("dead segments not truncated: %v", segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec := testOpen(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 0 {
+		t.Fatalf("clean restart replayed %d records", len(rec.Records))
+	}
+	if rec.Snapshot == nil || rec.SnapshotCut != 20 || rec.Head != 20 {
+		t.Fatalf("snapshot not recovered: %+v", rec)
+	}
+	ts := rec.Snapshot.Tenants
+	if len(ts) != 1 || ts[0].Name != "t" || ts[0].M != 4 || len(ts[0].Items) != 2 {
+		t.Fatalf("snapshot state: %+v", ts)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i), 1}}, Metered: 1})
+	}
+	if err := l.WriteSnapshot(&Snapshot{CutLSN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the snapshot: recovery must fall back to full journal replay.
+	path := filepath.Join(dir, snapName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := testOpenAndClose(t, dir)
+	if rec.Snapshot != nil {
+		t.Fatalf("corrupt snapshot decoded")
+	}
+	if len(rec.Records) != 3 || rec.Head != 3 {
+		t.Fatalf("fallback replay: %d records head %d", len(rec.Records), rec.Head)
+	}
+}
+
+func TestRebuildTwoPassCompensation(t *testing.T) {
+	recs := []Record{
+		// The dequeue of (9,9) is journaled before any enqueue of it — the
+		// racing-session interleaving Rebuild compensates for.
+		{LSN: 1, Type: RecDeleteMin, Tenant: "a", Items: []Item{{9, 9}}, Metered: 1},
+		{LSN: 2, Type: RecEnqueue, Tenant: "a", Items: []Item{{1, 10}, {2, 20}}, Metered: 2},
+		{LSN: 3, Type: RecDeleteMin, Tenant: "a", Items: []Item{{1, 10}}, Metered: 1},
+		{LSN: 4, Type: RecCounterAdd, Tenant: "a", Count: 2, Weight: 7, Metered: 2},
+		{LSN: 5, Type: RecResize, Tenant: "a", M: 16},
+		{LSN: 6, Type: RecEnqueue, Tenant: "b", Items: []Item{{5, 5}}, Metered: 1},
+	}
+	out := Rebuild(nil, recs)
+	if len(out) != 2 || out[0].Name != "a" || out[1].Name != "b" {
+		t.Fatalf("tenants: %+v", out)
+	}
+	a := out[0]
+	if !reflect.DeepEqual(a.Items, []Item{{2, 20}}) {
+		t.Fatalf("a items: %+v", a.Items)
+	}
+	// unmatched dequeue of (9,9) credits a compensating enqueue: 2+1 = 3.
+	if a.OpsEnqueued != 3 || a.OpsDequeued != 2 {
+		t.Fatalf("a ledger: enq=%d deq=%d", a.OpsEnqueued, a.OpsDequeued)
+	}
+	if int(a.OpsEnqueued-a.OpsDequeued) != len(a.Items) {
+		t.Fatalf("conservation violated: %d != %d", a.OpsEnqueued-a.OpsDequeued, len(a.Items))
+	}
+	if a.CounterSum != 7 || a.CounterDeltaSum != 7 || a.OpsCounterAdds != 2 {
+		t.Fatalf("a counter: %+v", a)
+	}
+	if a.OpsMetered != 6 || a.M != 16 {
+		t.Fatalf("a metered/m: %+v", a)
+	}
+}
+
+func TestRebuildOnSnapshotBase(t *testing.T) {
+	snap := &Snapshot{
+		CutLSN: 10,
+		Tenants: []TenantState{{
+			Name: "a", M: 8, Items: []Item{{1, 1}, {2, 2}},
+			CounterSum: 5, OpsEnqueued: 4, OpsDequeued: 2,
+			OpsCounterAdds: 1, CounterDeltaSum: 5, OpsMetered: 7,
+		}},
+	}
+	recs := []Record{
+		{LSN: 11, Type: RecDeleteMin, Tenant: "a", Items: []Item{{1, 1}}, Metered: 1},
+		{LSN: 12, Type: RecEnqueue, Tenant: "a", Items: []Item{{3, 3}}, Metered: 1},
+	}
+	out := Rebuild(snap, recs)
+	if len(out) != 1 {
+		t.Fatalf("tenants: %+v", out)
+	}
+	a := out[0]
+	if !reflect.DeepEqual(a.Items, []Item{{2, 2}, {3, 3}}) {
+		t.Fatalf("items: %+v", a.Items)
+	}
+	if a.OpsEnqueued != 5 || a.OpsDequeued != 3 || a.OpsMetered != 9 || a.M != 8 {
+		t.Fatalf("ledger: %+v", a)
+	}
+}
+
+func TestRebuildDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{SegmentBytes: 200})
+	for i := 0; i < 50; i++ {
+		mustAppend(t, l, Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+			Items: []Item{{uint64(i % 7), uint64(i)}}, Metered: 1})
+		if i%3 == 0 {
+			mustAppend(t, l, Record{Type: RecDeleteMin, Tenant: "t", Session: "s",
+				Items: []Item{{uint64(i % 7), uint64(i)}}, Metered: 1})
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st1, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := encodeSnapshot(&Snapshot{Tenants: st1})
+	b2 := encodeSnapshot(&Snapshot{Tenants: st2})
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("double replay diverged")
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("double replay states differ")
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{Policy: FsyncAlways})
+	const (
+		workers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r := Record{Type: RecEnqueue, Tenant: "t", Session: "s",
+					Items: []Item{{uint64(w), uint64(i)}}, Metered: 1}
+				if _, err := l.Append(&r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent append: %v", err)
+	}
+	if got := l.Head(); got != workers*each {
+		t.Fatalf("head %d, want %d", got, workers*each)
+	}
+	if l.Fsyncs() == 0 {
+		t.Fatalf("FsyncAlways issued no fsyncs")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := testOpenAndClose(t, dir)
+	if len(rec.Records) != workers*each {
+		t.Fatalf("recovered %d of %d", len(rec.Records), workers*each)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range rec.Records {
+		if seen[r.LSN] {
+			t.Fatalf("duplicate LSN %d", r.LSN)
+		}
+		seen[r.LSN] = true
+	}
+}
+
+func TestIntervalFlusher(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, Options{Policy: FsyncInterval, Interval: time.Millisecond})
+	mustAppend(t, l, Record{Type: RecSessionClose, Tenant: "t"})
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Fsyncs() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Fsyncs() == 0 {
+		t.Fatalf("interval flusher never synced")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecCanonical(t *testing.T) {
+	for i, r := range sampleRecords() {
+		r.LSN = uint64(i + 1)
+		frame := appendFrame(nil, &r)
+		recs, good := DecodeSegment(frame, r.LSN)
+		if good != len(frame) || len(recs) != 1 {
+			t.Fatalf("record %d: decode consumed %d of %d", i, good, len(frame))
+		}
+		if !recordsEqual(recs[0], r) {
+			t.Fatalf("record %d round trip: %+v != %+v", i, recs[0], r)
+		}
+		re := appendFrame(nil, &recs[0])
+		if !bytes.Equal(re, frame) {
+			t.Fatalf("record %d not canonical", i)
+		}
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+	}{{"never", FsyncNever}, {"Interval", FsyncInterval}, {" always ", FsyncAlways}} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() == "" {
+			t.Fatalf("empty String for %v", got)
+		}
+	}
+	if _, err := ParseFsyncPolicy("bogus"); err == nil {
+		t.Fatalf("bogus policy accepted")
+	}
+}
